@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavyweight input to most evaluation figures is the (apps x schemes)
+simulation grid; it is built once per session and shared.  Each benchmark
+prints the figure's rows/series (the paper-shaped output) and also writes
+them to ``benchmarks/output/<figure>.txt`` so results survive the run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import REPRESENTATIVE_APPS, run_evaluation_grid
+
+#: Requests per application for the shared grid.  Large enough for the
+#: scaled metadata caches to come under pressure (the regime the paper's
+#: full-scale traces live in), small enough for a minutes-scale run.
+GRID_REQUESTS = 20_000
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def evaluation_grid():
+    """The shared (8 representative apps x 4 schemes) simulation grid."""
+    return run_evaluation_grid(REPRESENTATIVE_APPS, requests=GRID_REQUESTS)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def emit(output_dir):
+    """Print a figure's rendered rows and persist them to disk."""
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+    return _emit

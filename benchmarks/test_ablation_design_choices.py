@@ -1,0 +1,86 @@
+"""Ablation benches for ESD's design choices (beyond the paper's Fig. 18).
+
+Each bench isolates one decision DESIGN.md calls out:
+
+* LRCU decay ("regular refresh") period,
+* the 1-byte referH budget with its overflow-rewrite rule,
+* the byte-by-byte comparison read (safety) vs. trusting the ECC,
+* bank-level parallelism (how much of ESD's win is queueing relief),
+* the row buffer (what comparison reads cost without array locality).
+"""
+
+from repro.analysis.ablations import (
+    ablate_bank_count,
+    ablate_comparison_read,
+    ablate_lrcu_decay,
+    ablate_referh_width,
+    ablate_row_buffer,
+)
+from repro.analysis.reporting import format_table
+
+REQUESTS = 10_000
+
+
+def test_ablation_lrcu_decay(benchmark, emit):
+    rows, headers = benchmark.pedantic(
+        ablate_lrcu_decay, kwargs={"requests": REQUESTS},
+        rounds=1, iterations=1)
+    emit("ablation_lrcu_decay",
+         format_table(headers, rows, title="Ablation: LRCU decay period"))
+    hit_rates = [row[1] for row in rows]
+    assert all(0.0 <= h <= 1.0 for h in hit_rates)
+
+
+def test_ablation_referh_width(benchmark, emit):
+    rows, headers = benchmark.pedantic(
+        ablate_referh_width, kwargs={"requests": REQUESTS},
+        rounds=1, iterations=1)
+    emit("ablation_referh",
+         format_table(headers, rows,
+                      title="Ablation: referH saturation budget"))
+    by_limit = {row[0]: row for row in rows}
+    # A tight budget overflow-rewrites more and never dedups more.
+    assert by_limit[3][2] >= by_limit[255][2]
+    assert by_limit[255][1] >= by_limit[3][1] - 0.02
+
+
+def test_ablation_comparison_read(benchmark, emit):
+    rows, headers = benchmark.pedantic(
+        ablate_comparison_read, kwargs={"requests": REQUESTS},
+        rounds=1, iterations=1)
+    emit("ablation_comparison_read",
+         format_table(headers, rows,
+                      title="Ablation: byte-compare (safe) vs trust-ECC "
+                            "(unsafe bound)"))
+    verified, trusting = rows
+    # Verification costs latency but not dedup coverage.
+    assert verified[1] >= trusting[1]
+    assert abs(verified[2] - trusting[2]) < 0.02
+
+
+def test_ablation_bank_count(benchmark, emit):
+    rows, headers = benchmark.pedantic(
+        ablate_bank_count, kwargs={"requests": REQUESTS},
+        rounds=1, iterations=1)
+    emit("ablation_banks",
+         format_table(headers, rows,
+                      title="Ablation: PCM bank-level parallelism"))
+    # ESD keeps a speedup at every bank count, and the baseline's latency
+    # falls monotonically as banks are added.
+    baselines = [row[1] for row in rows]
+    assert baselines == sorted(baselines, reverse=True)
+    assert all(row[3] > 1.0 for row in rows)
+
+
+def test_ablation_row_buffer(benchmark, emit):
+    rows, headers = benchmark.pedantic(
+        ablate_row_buffer, kwargs={"requests": REQUESTS},
+        rounds=1, iterations=1)
+    emit("ablation_row_buffer",
+         format_table(headers, rows,
+                      title="Ablation: row-buffer hit latency (75 ns = "
+                            "no row buffer)"))
+    # Slower row hits monotonically slow ESD's write path (its comparison
+    # reads target hot rows).
+    writes = [row[1] for row in rows]
+    assert writes == sorted(writes)

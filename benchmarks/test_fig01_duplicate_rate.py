@@ -1,0 +1,19 @@
+"""Figure 1: duplicate rate of cache lines across all 20 applications.
+
+Paper: 33.1 %-99.9 % per application, 62.9 % mean; deepsjeng and roms at
+~99.9 % driven by zero lines.
+"""
+
+from repro.analysis.experiments import fig1_duplicate_rate
+
+
+def test_fig1_duplicate_rate(benchmark, emit):
+    result = benchmark.pedantic(
+        fig1_duplicate_rate, kwargs={"requests": 20_000},
+        rounds=1, iterations=1)
+    emit("fig01_duplicate_rate", result.render())
+    # Shape assertions against the paper.
+    assert abs(result.mean_rate - 0.629) < 0.05
+    assert result.rates["deepsjeng"] > 0.99
+    assert result.rates["roms"] > 0.99
+    assert min(result.rates.values()) > 0.25

@@ -1,0 +1,20 @@
+"""Figure 2: worst-case performance of inline dedup (leela, lbm).
+
+Paper: straightforwardly applying inline deduplication can significantly
+degrade performance in the worst case; ESD does not.
+"""
+
+from repro.analysis.experiments import fig2_worst_case
+
+
+def test_fig2_worst_case(benchmark, emit):
+    result = benchmark.pedantic(
+        fig2_worst_case, kwargs={"requests": 15_000}, rounds=1, iterations=1)
+    emit("fig02_worst_case", result.render())
+    leela = result.normalized_ipc["leela"]
+    # Full dedup degrades the worst-case app; ESD stays at/above Baseline.
+    assert leela["Dedup_SHA1"] < 0.8
+    assert leela["DeWrite"] < 0.8
+    assert leela["ESD"] > 0.95
+    lbm = result.normalized_ipc["lbm"]
+    assert lbm["ESD"] >= lbm["Dedup_SHA1"]

@@ -1,0 +1,23 @@
+"""Figure 8: fingerprint collision probabilities normalized to CRC.
+
+Paper: the CRC's collision probability is orders of magnitude above the
+other fingerprints, which is why DeWrite must verify CRC matches by
+reading and comparing; the 64-bit ECC matches MD5/SHA1 in practice once
+matches are confirmed by byte comparison.
+"""
+
+from repro.analysis.experiments import fig8_collisions
+
+
+def test_fig8_collision_probabilities(benchmark, emit):
+    result = benchmark.pedantic(
+        fig8_collisions, kwargs={"num_lines": 60_000}, rounds=1, iterations=1)
+    emit("fig08_collisions", result.render())
+    # CRC32's analytic collision probability towers over the rest.
+    crc_prob = result.rows["crc32"][2]
+    for name in ("ecc", "md5", "sha1"):
+        assert result.rows[name][2] < crc_prob / 1e6
+    # Empirically: zero collisions for ECC/MD5/SHA1 on this corpus.
+    assert result.rows["ecc"][1] == 0
+    assert result.rows["md5"][1] == 0
+    assert result.rows["sha1"][1] == 0

@@ -1,0 +1,22 @@
+"""Figure 11: cache-line write reduction normalized to Baseline.
+
+Paper: ESD reduces 47.8 % of writes on average (up to 99.9 % for
+deepsjeng/roms); full-dedup schemes reduce ~18 pp more because they also
+catch low-reference-count duplicates.
+"""
+
+from repro.analysis.experiments import fig11_write_reduction
+
+
+def test_fig11_write_reduction(benchmark, evaluation_grid, emit):
+    result = benchmark.pedantic(
+        fig11_write_reduction, args=(evaluation_grid,),
+        rounds=1, iterations=1)
+    emit("fig11_write_reduction", result.render())
+    # ESD eliminates a large share of writes...
+    assert result.mean_reduction("ESD") > 0.35
+    # ...but full deduplication eliminates at least as much.
+    assert (result.mean_reduction("Dedup_SHA1")
+            >= result.mean_reduction("ESD") - 0.01)
+    # The zero-dominated apps approach total elimination for every scheme.
+    assert result.reductions["deepsjeng"]["ESD"] > 0.95

@@ -1,0 +1,24 @@
+"""Figure 12: write speedup normalized to Baseline.
+
+Paper: ESD speeds up writes for every application (up to 3.4x) and beats
+Dedup_SHA1 (by up to 4.3x) and DeWrite (by up to 2.6x); Dedup_SHA1 helps
+only a few high-duplication applications.
+"""
+
+from repro.analysis.experiments import fig12_write_speedup
+
+
+def test_fig12_write_speedup(benchmark, evaluation_grid, emit):
+    result = benchmark.pedantic(
+        fig12_write_speedup, args=(evaluation_grid,), rounds=1, iterations=1)
+    emit("fig12_write_speedup", result.render())
+    # ESD helps on average and peaks well above 2x.
+    assert result.geomean("ESD") > 1.0
+    assert result.best("ESD") > 2.0
+    # Ordering: ESD > DeWrite > Dedup_SHA1 in the mean.
+    assert result.geomean("ESD") > result.geomean("DeWrite")
+    assert result.geomean("DeWrite") > result.geomean("Dedup_SHA1")
+    # Dedup_SHA1 degrades writes for most applications.
+    below = sum(1 for per in result.speedups.values()
+                if per["Dedup_SHA1"] < 1.0)
+    assert below >= len(result.speedups) / 2

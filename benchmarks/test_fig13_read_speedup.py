@@ -1,0 +1,18 @@
+"""Figure 13: read speedup normalized to Baseline.
+
+Paper: ESD speeds up reads for every application (up to 5.3x) by removing
+duplicate writes from the banks reads contend with; Dedup_SHA1 degrades
+reads for most applications.
+"""
+
+from repro.analysis.experiments import fig13_read_speedup
+
+
+def test_fig13_read_speedup(benchmark, evaluation_grid, emit):
+    result = benchmark.pedantic(
+        fig13_read_speedup, args=(evaluation_grid,), rounds=1, iterations=1)
+    emit("fig13_read_speedup", result.render())
+    assert result.geomean("ESD") >= 1.0
+    assert result.best("ESD") > 1.5
+    assert result.geomean("ESD") > result.geomean("Dedup_SHA1")
+    assert result.geomean("ESD") > result.geomean("DeWrite")

@@ -1,0 +1,21 @@
+"""Figure 14: IPC normalized to Baseline.
+
+Paper: ESD improves IPC for all applications (up to 2.4x) and beats
+Dedup_SHA1 (up to 2.5x) and DeWrite (up to 1.8x); Dedup_SHA1 lowers IPC
+for most applications.
+"""
+
+from repro.analysis.experiments import fig14_ipc
+
+
+def test_fig14_ipc(benchmark, evaluation_grid, emit):
+    result = benchmark.pedantic(
+        fig14_ipc, args=(evaluation_grid,), rounds=1, iterations=1)
+    emit("fig14_ipc", result.render())
+    assert result.geomean("ESD") > 1.0
+    assert result.geomean("ESD") > result.geomean("Dedup_SHA1")
+    assert result.geomean("ESD") > result.geomean("DeWrite")
+    # Dedup_SHA1 lowers IPC for at least half the applications.
+    below = sum(1 for per in result.ipc_ratios.values()
+                if per["Dedup_SHA1"] < 1.0)
+    assert below >= len(result.ipc_ratios) / 2

@@ -1,0 +1,27 @@
+"""Figure 15: CDFs of write latency (tail latency) for 8 applications.
+
+Paper: ESD's write-latency CDF sits left of DeWrite's and far left of
+Dedup_SHA1's for gcc, leela, bodytrack, dedup, facesim, fluidanimate,
+wrf, and x264.
+"""
+
+from repro.analysis.experiments import fig15_tail_latency
+from repro.workloads.profiles import TAIL_LATENCY_APPS
+
+
+def test_fig15_tail_latency(benchmark, emit):
+    result = benchmark.pedantic(
+        fig15_tail_latency,
+        kwargs={"apps": list(TAIL_LATENCY_APPS), "requests": 15_000},
+        rounds=1, iterations=1)
+    emit("fig15_tail_latency", result.render())
+    # ESD has the shortest tail on every plotted application.
+    for app in TAIL_LATENCY_APPS:
+        p99 = result.p99[app]
+        assert p99["ESD"] <= p99["Dedup_SHA1"]
+        assert p99["ESD"] <= p99["DeWrite"]
+    # CDFs are valid distributions.
+    for app, per in result.cdfs.items():
+        for scheme, (xs, ys) in per.items():
+            assert ys == sorted(ys)
+            assert 0.0 <= ys[-1] <= 1.0 + 1e-9

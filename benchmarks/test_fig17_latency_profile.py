@@ -1,0 +1,34 @@
+"""Figure 17: write-latency profile by pipeline stage.
+
+Paper: Dedup_SHA1 spends ~80 % of write latency computing fingerprints;
+DeWrite ~10 % on (CRC) fingerprints plus ~23 % on fingerprint NVMM
+lookups; ESD spends zero on either — its write latency is dominated by
+the actual line reads and writes.
+"""
+
+from repro.analysis.experiments import fig17_latency_profile
+from repro.common.types import WritePathStage
+
+
+def test_fig17_latency_profile(benchmark, evaluation_grid, emit):
+    result = benchmark.pedantic(
+        fig17_latency_profile, args=(evaluation_grid,),
+        rounds=1, iterations=1)
+    emit("fig17_latency_profile", result.render())
+    sha1 = result.profiles["Dedup_SHA1"]
+    dewrite = result.profiles["DeWrite"]
+    esd = result.profiles["ESD"]
+    # SHA-1 fingerprint computation dominates Dedup_SHA1.
+    assert sha1[WritePathStage.FINGERPRINT_COMPUTE] > 0.4
+    # DeWrite's compute share is an order of magnitude smaller than SHA1's.
+    assert (dewrite.get(WritePathStage.FINGERPRINT_COMPUTE, 0.0)
+            < sha1[WritePathStage.FINGERPRINT_COMPUTE] / 3)
+    # Both full-dedup schemes pay NVMM lookups; ESD pays neither stage.
+    assert sha1.get(WritePathStage.FINGERPRINT_NVMM_LOOKUP, 0.0) > 0.0
+    assert dewrite.get(WritePathStage.FINGERPRINT_NVMM_LOOKUP, 0.0) > 0.0
+    assert WritePathStage.FINGERPRINT_COMPUTE not in esd
+    assert WritePathStage.FINGERPRINT_NVMM_LOOKUP not in esd
+    # ESD's latency is dominated by real line reads/writes.
+    rw_share = (esd.get(WritePathStage.WRITE_UNIQUE, 0.0)
+                + esd.get(WritePathStage.READ_FOR_COMPARISON, 0.0))
+    assert rw_share > 0.5

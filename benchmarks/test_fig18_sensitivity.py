@@ -1,0 +1,37 @@
+"""Figure 18: EFIT/AMT cache-size sensitivity, with and without LRCU.
+
+Paper: hit rates rise with cache size and saturate (knee at 512 KB against
+billion-request footprints; proportionally smaller here), and the LRCU
+policy beats plain LRU at every size.
+"""
+
+from repro.analysis.experiments import fig18_cache_sensitivity
+from repro.common.units import kib
+
+
+def test_fig18_cache_sensitivity(benchmark, emit):
+    result = benchmark.pedantic(
+        fig18_cache_sensitivity,
+        kwargs={
+            "app": "gcc",
+            "requests": 15_000,
+            "efit_sizes": [kib(2), kib(4), kib(8), kib(16), kib(32), kib(64)],
+            "amt_sizes": [kib(8), kib(16), kib(32), kib(64), kib(128)],
+        },
+        rounds=1, iterations=1)
+    emit("fig18_sensitivity", result.render())
+
+    lrcu = [r for _, r, _ in result.efit_series]
+    no_lrcu = [r for _, _, r in result.efit_series]
+    # Hit rate grows with EFIT size...
+    assert lrcu == sorted(lrcu)
+    # ...and saturates: the last doubling adds less than the first.
+    first_gain = lrcu[1] - lrcu[0]
+    last_gain = lrcu[-1] - lrcu[-2]
+    assert last_gain <= first_gain + 0.02
+    # LRCU >= plain LRU at every size (ties allowed when unpressured).
+    for with_l, without_l in zip(lrcu, no_lrcu):
+        assert with_l >= without_l - 0.02
+
+    amt = [r for _, r in result.amt_series]
+    assert amt[-1] >= amt[0]

@@ -1,0 +1,10 @@
+"""Table I: the system configuration used throughout the evaluation."""
+
+from repro.analysis.experiments import table1_configuration
+
+
+def test_table1_configuration(benchmark, emit):
+    result = benchmark.pedantic(table1_configuration, rounds=1, iterations=1)
+    text = result.render()
+    emit("table1_config", text)
+    assert "read 75 ns / write 150 ns" in text

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Endurance study: deduplication + wear leveling + counter integrity.
+
+The paper motivates ESD partly by endurance: every eliminated duplicate
+write is PCM wear that never happens.  This example quantifies that
+(Figure 11's metric plus per-frame wear statistics), shows how Start-Gap
+wear leveling spreads the writes that remain, and runs the counter
+integrity tree that protects the encryption counters every scheme relies
+on (Section III-E's consistency discussion).
+
+Run:
+    python examples/endurance_study.py
+"""
+
+from repro import make_scheme, TraceGenerator
+from repro.analysis.reporting import format_table
+from repro.common.errors import IntegrityError
+from repro.crypto import CounterIntegrityTree, CounterTable
+from repro.nvmm import StartGapWearLeveler, WearLevelerConfig, PCMDevice
+from repro.common.config import PCMConfig
+from repro.common.units import mib
+from repro.sim import scaled_system_config
+
+
+def dedup_wear_comparison() -> None:
+    trace = TraceGenerator("mcf", seed=3).generate_list(20_000)
+    rows = []
+    for name in ("Baseline", "ESD"):
+        scheme = make_scheme(name, scaled_system_config())
+        for req in trace:
+            if req.is_write:
+                scheme.handle_write(req)
+        stats = scheme.controller.device.wear_stats()
+        rows.append([name, stats.total_writes, stats.frames_touched,
+                     stats.max_writes_per_frame,
+                     f"{stats.wear_imbalance:.2f}"])
+    print(format_table(
+        ["scheme", "pcm_writes", "frames_touched", "max_per_frame",
+         "imbalance"],
+        rows, title="Wear under mcf (20,000 requests): dedup eliminates "
+                    "writes outright"))
+
+
+def wear_leveling_demo() -> None:
+    device = PCMDevice(PCMConfig(capacity_bytes=mib(1), num_banks=4))
+    leveler = StartGapWearLeveler(
+        num_frames=256, config=WearLevelerConfig(gap_move_interval=16))
+    # Hammer a handful of hot frames (what dedup's surviving hot unique
+    # lines look like).
+    for step in range(20_000):
+        hot_frame = step % 4
+        device.write_line(leveler.translate(hot_frame),
+                          bytes([step % 256]) * 64)
+        leveler.record_write(device)
+    stats = device.wear_stats()
+    print("\nStart-Gap wear leveling on 4 hot frames / 256 slots:")
+    print(f"  frames touched:        {stats.frames_touched}")
+    print(f"  max writes per frame:  {stats.max_writes_per_frame}  "
+          f"(no leveling would be 5000)")
+    print(f"  wear imbalance:        {stats.wear_imbalance:.2f}")
+    print(f"  gap moves (overhead):  {leveler.gap_moves} "
+          f"({leveler.write_overhead():.1%} extra writes)")
+
+
+def integrity_demo() -> None:
+    counters = CounterTable()
+    tree = CounterIntegrityTree(counters, num_lines=64 * 1024)
+    for line in range(0, 4096, 7):
+        counters.advance(line)
+        tree.update(line)
+    tree.verify_all_touched()
+    print("\nCounter integrity tree:")
+    print(f"  depth {tree.depth}, {tree.node_count()} materialized nodes, "
+          f"{tree.verifications} verifications OK")
+    # A rollback attack on an encryption counter is detected immediately.
+    counters.counters[7] -= 1
+    try:
+        tree.verify(7)
+        print("  ERROR: rollback went undetected!")
+    except IntegrityError:
+        print("  counter-rollback attack detected (pad reuse prevented)")
+
+
+def main() -> None:
+    dedup_wear_comparison()
+    wear_leveling_demo()
+    integrity_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Workload characterization: the paper's motivation figures (1 and 3).
+
+Generates traces for all 20 applications, measures duplicate rates and
+reference-count distributions, and demonstrates trace serialization (the
+artifact's trace file format).
+
+Run:
+    python examples/workload_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.workloads import (
+    TraceGenerator,
+    app_names,
+    duplicate_stats,
+    read_trace_list,
+    reference_count_distribution,
+    write_trace,
+)
+
+REQUESTS = 10_000
+
+
+def main() -> None:
+    rows = []
+    bucket_rows = []
+    for app in app_names():
+        trace = TraceGenerator(app, seed=7).generate_list(REQUESTS)
+        stats = duplicate_stats(trace)
+        dist = reference_count_distribution(trace)
+        rows.append([app, stats.duplicate_rate * 100,
+                     stats.zero_share_of_duplicates * 100,
+                     stats.unique_contents])
+        bucket_rows.append([app] + [dist.volume_share(b) * 100 for b in
+                                    ("num1", "num10", "num100", "num1000",
+                                     "num1000+")])
+
+    print(format_table(
+        ["application", "dup_rate_%", "zero_share_%", "unique_contents"],
+        rows, title="Figure 1 view: duplicate rates per application",
+        float_format="{:.1f}"))
+    mean = sum(r[1] for r in rows) / len(rows)
+    print(f"\nmean duplicate rate: {mean:.1f}%  (paper: 62.9%)\n")
+
+    print(format_table(
+        ["application", "num1_%", "num10_%", "num100_%", "num1000_%",
+         "num1000+_%"],
+        bucket_rows,
+        title="Figure 3b view: pre-dedup volume by reference-count bucket",
+        float_format="{:.1f}"))
+
+    # Trace serialization round-trip (the artifact's regulation format).
+    trace = TraceGenerator("gcc", seed=7).generate_list(1_000)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gcc.esdtrace"
+        count = write_trace(trace, path)
+        restored = read_trace_list(path)
+        print(f"\ntrace round-trip: wrote {count} records "
+              f"({path.stat().st_size} bytes), read back {len(restored)}; "
+              f"identical={all(a.data == b.data for a, b in zip(trace, restored))}")
+
+
+if __name__ == "__main__":
+    main()

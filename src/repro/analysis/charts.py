@@ -1,0 +1,89 @@
+"""ASCII chart rendering for terminal-friendly figures.
+
+The paper's figures are bar charts and CDFs; these helpers render both as
+monospace text so the benchmark harness and CLI can show *shapes*, not
+just numbers, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def bar_chart(values: Dict[str, float], *, title: Optional[str] = None,
+              width: int = 50, reference: Optional[float] = None,
+              value_format: str = "{:.2f}") -> str:
+    """Horizontal bar chart of a {label: value} mapping.
+
+    Args:
+        reference: when given, a ``|`` marker is drawn at this value
+            (e.g. 1.0 for "normalized to Baseline" figures).
+    """
+    if not values:
+        return title or "(empty chart)"
+    if width <= 0:
+        raise ValueError("width must be positive")
+    max_value = max(max(values.values()), reference or 0.0)
+    if max_value <= 0:
+        max_value = 1.0
+    label_width = max(len(str(k)) for k in values)
+    ref_col = (round(width * reference / max_value)
+               if reference is not None else None)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = round(width * max(0.0, value) / max_value)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else "+"
+        lines.append(f"{str(label).rjust(label_width)} "
+                     f"[{''.join(bar)}] {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Dict[str, Dict[str, float]], *,
+                      title: Optional[str] = None, width: int = 40,
+                      reference: Optional[float] = None) -> str:
+    """One bar block per group (the paper's per-application clusters)."""
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    for group, values in groups.items():
+        parts.append(f"{group}:")
+        chart = bar_chart(values, width=width, reference=reference)
+        parts.extend("  " + line for line in chart.splitlines())
+    return "\n".join(parts)
+
+
+def cdf_plot(series: Dict[str, Tuple[Sequence[float], Sequence[float]]], *,
+             title: Optional[str] = None, width: int = 60,
+             height: int = 12) -> str:
+    """Overlayed ASCII CDFs (Figure 15 style), one symbol per series."""
+    if not series:
+        return title or "(empty plot)"
+    if width <= 2 or height <= 2:
+        raise ValueError("width and height must exceed 2")
+    symbols = "*o+x@%&"
+    max_x = max((xs[-1] for xs, _ys in series.values() if xs), default=1.0)
+    if max_x <= 0:
+        max_x = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        symbol = symbols[index % len(symbols)]
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int(width * x / max_x))
+            row = min(height - 1, int((height - 1) * (1.0 - y)))
+            grid[row][col] = symbol
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("1.0 +" + "-" * width)
+    for row in grid:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 +" + "-" * width)
+    lines.append(f"    0 ns{'.'.rjust(width - 10)} {max_x:.0f} ns")
+    legend = "  ".join(f"{symbols[i % len(symbols)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(f"    {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment in :mod:`repro.analysis.experiments` renders through these
+helpers so benchmark output looks like the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 *, title: Optional[str] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render an aligned plain-text table."""
+    def render(cell: Cell) -> str:
+        if isinstance(cell, bool):  # bool is an int subclass; keep readable
+            return str(cell)
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  *, x_label: str = "x", y_label: str = "y",
+                  max_points: int = 12) -> str:
+    """Render a (possibly downsampled) x/y series for CDF-style figures."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    if n > max_points:
+        step = max(1, n // max_points)
+        idx = list(range(0, n, step))
+        if idx[-1] != n - 1:
+            idx.append(n - 1)
+    else:
+        idx = list(range(n))
+    pts = ", ".join(f"({xs[i]:.0f}, {ys[i]:.2f})" for i in idx)
+    return f"{name} [{x_label} -> {y_label}]: {pts}"
+
+
+def normalized_map(values: Dict[str, float], reference: str,
+                   *, invert: bool = False) -> Dict[str, float]:
+    """Normalize a {name: value} map to one reference entry.
+
+    Args:
+        invert: when True, report ``reference/value`` (speedups from
+            latencies) instead of ``value/reference``.
+    """
+    ref = values[reference]
+    if ref == 0:
+        raise ValueError("reference value is zero")
+    if invert:
+        return {k: (ref / v if v else float("inf")) for k, v in values.items()}
+    return {k: v / ref for k, v in values.items()}

@@ -1,0 +1,145 @@
+"""Self-check: verify the reproduction's headline shapes in one pass.
+
+Runs miniature versions of the paper's key claims and reports pass/fail
+per claim — the smoke test a downstream user runs first to confirm their
+environment reproduces the paper's qualitative results.  Exposed through
+``python -m repro.cli validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..sim.runner import run_app, scaled_system_config
+from ..workloads.analysis import duplicate_stats
+from ..workloads.generator import TraceGenerator
+from ..workloads.profiles import app_names
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable qualitative claim from the paper."""
+
+    claim_id: str
+    description: str
+    check: Callable[[], bool]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: bool
+    error: str = ""
+
+
+def _grid(apps, requests, seed=2023):
+    out = {}
+    for app in apps:
+        out[app] = run_app(app, ["Baseline", "Dedup_SHA1", "DeWrite", "ESD"],
+                           requests=requests,
+                           system=scaled_system_config(), seed=seed)
+    return out
+
+
+def build_claims(requests: int = 8_000) -> List[Claim]:
+    """The claim suite; simulations are shared lazily across claims."""
+    state: dict = {}
+
+    def grid():
+        if "grid" not in state:
+            state["grid"] = _grid(["gcc", "deepsjeng", "leela"], requests)
+        return state["grid"]
+
+    def claim_duplicate_rates() -> bool:
+        rates = []
+        for app in app_names():
+            trace = TraceGenerator(app, seed=1).generate_list(
+                max(2_000, requests // 4))
+            rates.append(duplicate_stats(trace).duplicate_rate)
+        mean = sum(rates) / len(rates)
+        return 0.55 < mean < 0.70 and max(rates) > 0.99
+
+    def claim_esd_fastest_writes() -> bool:
+        return all(
+            per["ESD"].mean_write_latency_ns
+            <= min(per[s].mean_write_latency_ns
+                   for s in ("Baseline", "Dedup_SHA1", "DeWrite")) * 1.05
+            for per in grid().values())
+
+    def claim_esd_lowest_energy() -> bool:
+        return all(
+            per["ESD"].total_energy_nj
+            == min(r.total_energy_nj for r in per.values())
+            for per in grid().values())
+
+    def claim_full_dedup_degrades_worst_case() -> bool:
+        leela = grid()["leela"]
+        return (leela["Dedup_SHA1"].ipc < leela["Baseline"].ipc
+                and leela["ESD"].ipc >= leela["Baseline"].ipc * 0.95)
+
+    def claim_esd_shortest_tail() -> bool:
+        return all(
+            per["ESD"].write_latency.percentile(99)
+            <= per["Dedup_SHA1"].write_latency.percentile(99)
+            for per in grid().values())
+
+    def claim_esd_zero_fingerprint_cost() -> bool:
+        from ..common.types import WritePathStage
+        for per in grid().values():
+            breakdown = per["ESD"].breakdown
+            if breakdown is None:
+                return False
+            if WritePathStage.FINGERPRINT_COMPUTE in breakdown.by_stage:
+                return False
+            if WritePathStage.FINGERPRINT_NVMM_LOOKUP in breakdown.by_stage:
+                return False
+        return True
+
+    def claim_metadata_savings() -> bool:
+        per = grid()["gcc"]
+        esd = per["ESD"].metadata.nvmm_bytes
+        sha1 = per["Dedup_SHA1"].metadata.nvmm_bytes
+        return sha1 > 0 and esd < sha1 * 0.5
+
+    return [
+        Claim("fig1", "mean duplicate rate ~62.9% with 99.9% peaks",
+              claim_duplicate_rates),
+        Claim("fig12", "ESD has the fastest writes of all schemes",
+              claim_esd_fastest_writes),
+        Claim("fig16", "ESD consumes the least energy",
+              claim_esd_lowest_energy),
+        Claim("fig2", "full dedup degrades leela; ESD does not",
+              claim_full_dedup_degrades_worst_case),
+        Claim("fig15", "ESD has the shortest p99 write tail",
+              claim_esd_shortest_tail),
+        Claim("fig17", "ESD pays zero fingerprint compute/NVMM lookups",
+              claim_esd_zero_fingerprint_cost),
+        Claim("fig19", "ESD stores <50% of Dedup_SHA1's NVMM metadata",
+              claim_metadata_savings),
+    ]
+
+
+def validate(requests: int = 8_000) -> List[ClaimResult]:
+    """Run every claim; returns per-claim results (never raises)."""
+    results = []
+    for claim in build_claims(requests):
+        try:
+            passed = bool(claim.check())
+            results.append(ClaimResult(claim.claim_id, claim.description,
+                                       passed))
+        except Exception as exc:  # pragma: no cover - defensive
+            results.append(ClaimResult(claim.claim_id, claim.description,
+                                       False, error=repr(exc)))
+    return results
+
+
+def render_validation(results: List[ClaimResult]) -> str:
+    from .reporting import format_table
+    rows = [[r.claim_id, r.description,
+             "PASS" if r.passed else f"FAIL {r.error}"] for r in results]
+    passed = sum(1 for r in results if r.passed)
+    table = format_table(["claim", "description", "status"], rows,
+                         title="Reproduction self-check")
+    return f"{table}\n{passed}/{len(results)} claims hold"

@@ -1,0 +1,28 @@
+"""CPU-side substrate: set-associative caches, 3-level hierarchy, IPC model."""
+
+from .cpu import CoreTimingModel, relative_ipc
+from .hierarchy import (
+    CacheHierarchy,
+    CPUAccess,
+    HierarchyEvent,
+    HierarchyStats,
+)
+from .set_assoc import (
+    AccessOutcome,
+    CacheLineState,
+    Eviction,
+    SetAssociativeCache,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "CacheHierarchy",
+    "CacheLineState",
+    "CoreTimingModel",
+    "CPUAccess",
+    "Eviction",
+    "HierarchyEvent",
+    "HierarchyStats",
+    "SetAssociativeCache",
+    "relative_ipc",
+]

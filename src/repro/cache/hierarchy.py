@@ -1,0 +1,189 @@
+"""Three-level cache hierarchy producing the LLC traffic stream.
+
+The dedup schemes live *behind* the LLC: what they see is (a) read fills on
+LLC misses and (b) dirty 64-byte write-backs on LLC evictions.  This module
+models an inclusive-enough three-level hierarchy (private L1/L2, shared L3)
+that converts a CPU-side load/store stream into that memory-controller
+traffic, with per-level hit accounting and hit latencies for the IPC model.
+
+Fidelity note: the hierarchy is a filter model — it tracks residency and
+dirtiness exactly but does not model coherence between cores (each core's
+private levels are independent, and the shared L3 sees the merged stream),
+which matches how the paper's single-socket trace collection treats caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..common.config import ProcessorConfig
+from ..common.types import AccessType, MemoryRequest
+from .set_assoc import Eviction, SetAssociativeCache
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hit/miss tallies and derived hit rates."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    writebacks_to_memory: int = 0
+    fills_from_memory: int = 0
+
+    def hit_rates(self) -> Tuple[float, float, float]:
+        def rate(h: int, m: int) -> float:
+            return h / (h + m) if (h + m) else 0.0
+        return (rate(self.l1_hits, self.l1_misses),
+                rate(self.l2_hits, self.l2_misses),
+                rate(self.l3_hits, self.l3_misses))
+
+
+@dataclass(frozen=True)
+class CPUAccess:
+    """One CPU-side load or store, pre-hierarchy."""
+
+    address: int
+    write: bool
+    data: Optional[bytes] = None
+    core: int = 0
+
+
+@dataclass
+class HierarchyEvent:
+    """Memory-controller traffic emitted while serving one CPU access.
+
+    ``latency_cycles`` is the cache-side latency of the access (the level it
+    hit at); memory latency is added later by the NVMM model for misses.
+    """
+
+    cpu_access: CPUAccess
+    hit_level: str  # "L1" | "L2" | "L3" | "memory"
+    latency_cycles: int
+    fill: Optional[MemoryRequest] = None
+    writebacks: List[MemoryRequest] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core + shared L3, write-back throughout."""
+
+    def __init__(self, config: Optional[ProcessorConfig] = None) -> None:
+        self.config = config or ProcessorConfig()
+        cores = self.config.cores
+        self.l1 = [SetAssociativeCache(self.config.l1) for _ in range(cores)]
+        self.l2 = [SetAssociativeCache(self.config.l2) for _ in range(cores)]
+        self.l3 = SetAssociativeCache(self.config.l3)
+        self.stats = HierarchyStats()
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _mem_request(self, address: int, access: AccessType,
+                     data: Optional[bytes], core: int) -> MemoryRequest:
+        return MemoryRequest(address=address, access=access, data=data,
+                             core=core, seq=self._next_seq())
+
+    def _absorb_eviction(self, eviction: Eviction, core: int,
+                         event: HierarchyEvent, *, into_l3: bool) -> None:
+        """Push an eviction down one level (L2 -> L3, or L3 -> memory)."""
+        if not eviction.dirty or eviction.data is None:
+            return
+        if into_l3:
+            outcome = self.l3.access(eviction.address, write=True,
+                                     data=eviction.data)
+            if outcome.eviction is not None:
+                self._absorb_eviction(outcome.eviction, core, event,
+                                      into_l3=False)
+        else:
+            self.stats.writebacks_to_memory += 1
+            event.writebacks.append(self._mem_request(
+                eviction.address, AccessType.WRITE, eviction.data, core))
+
+    def access(self, access: CPUAccess) -> HierarchyEvent:
+        """Run one CPU access through L1 -> L2 -> L3.
+
+        Returns the event describing where it hit and what memory traffic
+        (fill + write-backs) it generated.
+        """
+        if not 0 <= access.core < self.config.cores:
+            raise ValueError(f"core {access.core} out of range")
+        core = access.core
+        cfg = self.config
+        event = HierarchyEvent(cpu_access=access, hit_level="L1",
+                               latency_cycles=cfg.l1.latency_cycles)
+
+        l1 = self.l1[core]
+        out1 = l1.access(access.address, write=access.write, data=access.data)
+        if out1.hit:
+            self.stats.l1_hits += 1
+            return event
+        self.stats.l1_misses += 1
+        if out1.eviction is not None and out1.eviction.dirty:
+            # L1 victim write-back is absorbed by L2.
+            self.l2[core].access(out1.eviction.address, write=True,
+                                 data=out1.eviction.data)
+
+        l2 = self.l2[core]
+        out2 = l2.access(access.address, write=False)
+        if out2.eviction is not None:
+            self._absorb_eviction(out2.eviction, core, event, into_l3=True)
+        if out2.hit:
+            self.stats.l2_hits += 1
+            event.hit_level = "L2"
+            event.latency_cycles = cfg.l2.latency_cycles
+            return event
+        self.stats.l2_misses += 1
+
+        out3 = self.l3.access(access.address, write=False)
+        if out3.eviction is not None:
+            self._absorb_eviction(out3.eviction, core, event, into_l3=False)
+        if out3.hit:
+            self.stats.l3_hits += 1
+            event.hit_level = "L3"
+            event.latency_cycles = cfg.l3.latency_cycles
+            return event
+        self.stats.l3_misses += 1
+
+        # LLC miss: fetch the line from memory.
+        self.stats.fills_from_memory += 1
+        event.hit_level = "memory"
+        event.latency_cycles = cfg.l3.latency_cycles
+        event.fill = self._mem_request(access.address, AccessType.READ,
+                                       None, core)
+        return event
+
+    def drain(self) -> List[MemoryRequest]:
+        """Flush all dirty lines to memory (end of trace)."""
+        out: List[MemoryRequest] = []
+        for core in range(self.config.cores):
+            for ev in self.l1[core].flush_dirty():
+                if ev.data is not None:
+                    self.l2[core].access(ev.address, write=True, data=ev.data)
+            for ev in self.l2[core].flush_dirty():
+                if ev.data is not None:
+                    outcome = self.l3.access(ev.address, write=True,
+                                             data=ev.data)
+                    if (outcome.eviction is not None
+                            and outcome.eviction.dirty
+                            and outcome.eviction.data is not None):
+                        self.stats.writebacks_to_memory += 1
+                        out.append(self._mem_request(
+                            outcome.eviction.address, AccessType.WRITE,
+                            outcome.eviction.data, core))
+        for ev in self.l3.flush_dirty():
+            if ev.data is not None:
+                self.stats.writebacks_to_memory += 1
+                out.append(self._mem_request(ev.address, AccessType.WRITE,
+                                             ev.data, 0))
+        return out
+
+    def run(self, accesses: Iterable[CPUAccess]) -> Iterator[HierarchyEvent]:
+        """Stream a CPU access sequence through the hierarchy."""
+        for access in accesses:
+            yield self.access(access)

@@ -1,0 +1,168 @@
+"""Generic set-associative cache with LRU replacement.
+
+Used for the L1/L2/L3 data caches of the simulated processor.  The cache is
+write-back + write-allocate and tracks line *contents*, because what the
+dedup schemes ultimately consume is the stream of dirty 64-byte payloads
+evicted from the LLC.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import CacheLevelConfig
+from ..common.types import CACHE_LINE_SIZE
+
+
+@dataclass
+class CacheLineState:
+    """Residency state of one cached line."""
+
+    tag: int
+    dirty: bool
+    data: Optional[bytes]
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of a cache by replacement."""
+
+    address: int
+    dirty: bool
+    data: Optional[bytes]
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one cache access."""
+
+    hit: bool
+    eviction: Optional[Eviction] = None
+
+
+class SetAssociativeCache:
+    """One level of set-associative, write-back, write-allocate cache.
+
+    Addresses are byte addresses; the cache extracts set index and tag from
+    the line number.  Each set is an :class:`collections.OrderedDict` whose
+    order encodes recency (last item = most recently used).
+    """
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._line_size = config.line_size
+        self._sets: List["OrderedDict[int, CacheLineState]"] = [
+            OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+
+    def _split(self, address: int) -> Tuple[int, int]:
+        line = address // self._line_size
+        return line % self._num_sets, line // self._num_sets
+
+    def _join(self, set_index: int, tag: int) -> int:
+        return (tag * self._num_sets + set_index) * self._line_size
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, *, write: bool,
+               data: Optional[bytes] = None) -> AccessOutcome:
+        """Perform a load or store at ``address``.
+
+        On a miss, the line is allocated (write-allocate), possibly evicting
+        the LRU way of its set; the eviction (with dirtiness and payload) is
+        reported so the next level can absorb the write-back.
+
+        Args:
+            address: byte address (any alignment; the line is derived).
+            write: True for stores.
+            data: 64-byte payload for stores (the new content of the line).
+        """
+        if write and data is not None and len(data) != CACHE_LINE_SIZE:
+            raise ValueError("store payload must be one cache line")
+        set_index, tag = self._split(address)
+        ways = self._sets[set_index]
+        state = ways.get(tag)
+        if state is not None:
+            ways.move_to_end(tag)
+            self.hits += 1
+            if write:
+                state.dirty = True
+                if data is not None:
+                    state.data = bytes(data)
+            return AccessOutcome(hit=True)
+
+        self.misses += 1
+        eviction = None
+        if len(ways) >= self._assoc:
+            victim_tag, victim = ways.popitem(last=False)
+            self.evictions += 1
+            if victim.dirty:
+                self.dirty_evictions += 1
+            eviction = Eviction(address=self._join(set_index, victim_tag),
+                                dirty=victim.dirty, data=victim.data)
+        ways[tag] = CacheLineState(tag=tag, dirty=write,
+                                   data=bytes(data) if data is not None else None)
+        return AccessOutcome(hit=False, eviction=eviction)
+
+    def fill(self, address: int, data: Optional[bytes]) -> None:
+        """Install fetched data into an already-resident line (miss fill)."""
+        set_index, tag = self._split(address)
+        state = self._sets[set_index].get(tag)
+        if state is None:
+            raise KeyError(f"line for address {address:#x} is not resident")
+        if state.data is None:
+            state.data = bytes(data) if data is not None else None
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._split(address)
+        return tag in self._sets[set_index]
+
+    def peek(self, address: int) -> Optional[CacheLineState]:
+        """Inspect a line without touching recency state."""
+        set_index, tag = self._split(address)
+        return self._sets[set_index].get(tag)
+
+    def invalidate(self, address: int) -> Optional[Eviction]:
+        """Drop a line, returning its write-back if dirty."""
+        set_index, tag = self._split(address)
+        state = self._sets[set_index].pop(tag, None)
+        if state is None:
+            return None
+        if state.dirty:
+            self.dirty_evictions += 1
+            return Eviction(address=self._join(set_index, tag), dirty=True,
+                            data=state.data)
+        return None
+
+    def flush_dirty(self) -> List[Eviction]:
+        """Evict every dirty line (end-of-trace drain)."""
+        out = []
+        for set_index, ways in enumerate(self._sets):
+            dirty_tags = [t for t, s in ways.items() if s.dirty]
+            for tag in dirty_tags:
+                state = ways.pop(tag)
+                self.dirty_evictions += 1
+                out.append(Eviction(address=self._join(set_index, tag),
+                                    dirty=True, data=state.data))
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

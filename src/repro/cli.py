@@ -1,0 +1,238 @@
+"""Command-line interface mirroring the paper artifact's workflow.
+
+The original artifact runs ``./nvmain.fast -ConfigFile=... -InputFile=<trace>
+-cycles`` and then selects a scheme (0: Baseline, 1: Tra_sha1, 2: DeWrite,
+3: ESD), emitting "statistics of state information for reads, writes,
+energy, and latency".  This CLI reproduces that workflow over the Python
+simulator:
+
+    python -m repro.cli run --scheme ESD --app gcc --requests 20000
+    python -m repro.cli run --scheme 3 --trace my.esdtrace
+    python -m repro.cli compare --app lbm --requests 15000
+    python -m repro.cli gen-trace --app gcc --requests 5000 --out gcc.esdtrace
+    python -m repro.cli figures --quick
+
+Scheme selection accepts both the paper's numeric codes and names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import format_table
+from .common.units import kib
+from .dedup import SCHEME_NAMES, make_scheme
+from .sim.engine import EngineConfig, SimulationEngine
+from .sim.runner import run_app, scaled_system_config
+from .workloads.generator import TraceGenerator
+from .workloads.profiles import app_names, get_profile
+from .workloads.trace import read_trace_list, write_trace
+
+#: The artifact's numeric scheme codes.
+SCHEME_CODES = {"0": "Baseline", "1": "Dedup_SHA1", "2": "DeWrite",
+                "3": "ESD"}
+
+
+def resolve_scheme(token: str) -> str:
+    """Accept '0'..'3' (artifact codes) or scheme names."""
+    if token in SCHEME_CODES:
+        return SCHEME_CODES[token]
+    for name in SCHEME_NAMES:
+        if token.lower() == name.lower():
+            return name
+    raise SystemExit(
+        f"unknown scheme {token!r}; use one of {list(SCHEME_CODES)} "
+        f"or {list(SCHEME_NAMES)}")
+
+
+def _system_config(args) -> "SystemConfig":
+    config = scaled_system_config()
+    if getattr(args, "efit_kb", None):
+        config = config.with_metadata_cache(efit_bytes=kib(args.efit_kb))
+    if getattr(args, "amt_kb", None):
+        config = config.with_metadata_cache(amt_bytes=kib(args.amt_kb))
+    return config
+
+
+def _load_or_generate(args) -> List:
+    if args.trace:
+        return read_trace_list(args.trace)
+    return TraceGenerator(args.app, seed=args.seed).generate_list(
+        args.requests)
+
+
+def cmd_run(args) -> int:
+    """Run one scheme over one trace; print the artifact's statistics."""
+    scheme_name = resolve_scheme(args.scheme)
+    trace = _load_or_generate(args)
+    profile = get_profile(args.app) if not args.trace else None
+    scheme = make_scheme(scheme_name, _system_config(args))
+    engine = SimulationEngine(scheme, EngineConfig())
+    result = engine.run(
+        iter(trace), app=args.app, total_hint=len(trace),
+        instructions_per_access=(profile.instructions_per_access
+                                 if profile else 200))
+
+    rows = [
+        ["scheme", scheme_name],
+        ["requests", len(trace)],
+        ["writes (recorded)", result.writes],
+        ["reads (recorded)", result.reads],
+        ["write reduction", f"{result.write_reduction:.1%}"],
+        ["PCM data writes", result.pcm_data_writes],
+        ["PCM metadata writes", result.pcm_metadata_writes],
+        ["mean write latency (ns)", f"{result.mean_write_latency_ns:.1f}"],
+        ["p99 write latency (ns)",
+         f"{result.write_latency.percentile(99):.1f}"],
+        ["mean read latency (ns)", f"{result.mean_read_latency_ns:.1f}"],
+        ["total energy (mJ)", f"{result.total_energy_nj / 1e6:.4f}"],
+        ["IPC", f"{result.ipc:.3f}"],
+    ]
+    for key, value in sorted(result.extras.items()):
+        rows.append([key, f"{value:.4f}"])
+    print(format_table(["statistic", "value"], rows,
+                       title=f"{args.app} under {scheme_name}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run all four schemes on one application (paired trace)."""
+    results = run_app(args.app, SCHEME_NAMES, requests=args.requests,
+                      system=_system_config(args), seed=args.seed)
+    base = results["Baseline"]
+    rows = []
+    for name in SCHEME_NAMES:
+        r = results[name]
+        rows.append([
+            name,
+            f"{r.write_reduction:.1%}",
+            f"{base.mean_write_latency_ns / r.mean_write_latency_ns:.2f}x",
+            f"{base.mean_read_latency_ns / r.mean_read_latency_ns:.2f}x",
+            f"{r.total_energy_nj / base.total_energy_nj:.2f}",
+            f"{r.ipc / base.ipc:.2f}x",
+        ])
+    print(format_table(
+        ["scheme", "write_red", "write_speedup", "read_speedup",
+         "energy_vs_base", "ipc_vs_base"],
+        rows, title=f"Scheme comparison on {args.app} "
+                    f"({args.requests} requests)"))
+    return 0
+
+
+def cmd_gen_trace(args) -> int:
+    """Generate and persist a trace in the artifact's regulation format."""
+    trace = TraceGenerator(args.app, seed=args.seed).generate(args.requests)
+    count = write_trace(trace, args.out)
+    print(f"wrote {count} records for {args.app} to {args.out}")
+    return 0
+
+
+def cmd_list_apps(_args) -> int:
+    rows = []
+    for app in app_names():
+        p = get_profile(app)
+        rows.append([app, p.suite, f"{p.duplicate_rate:.1%}",
+                     f"{p.read_fraction:.0%}", p.working_set_lines])
+    print(format_table(
+        ["application", "suite", "dup_rate", "read_share", "ws_lines"],
+        rows, title="Available applications (12 SPEC CPU 2017 + 8 PARSEC)"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate the paper's figures (a quick subset by default)."""
+    from .analysis import experiments as ex
+    requests = 6_000 if args.quick else 20_000
+    apps = ["gcc", "deepsjeng", "lbm", "leela"] if args.quick else None
+    print(ex.table1_configuration().render(), "\n")
+    print(ex.fig1_duplicate_rate(apps=apps, requests=requests).render(), "\n")
+    print(ex.fig3_content_locality(apps=apps, requests=requests).render(),
+          "\n")
+    grid = ex.run_evaluation_grid(
+        apps or list(ex.REPRESENTATIVE_APPS), requests=requests)
+    print(ex.fig11_write_reduction(grid).render(), "\n")
+    print(ex.fig12_write_speedup(grid).render(), "\n")
+    print(ex.fig13_read_speedup(grid).render(), "\n")
+    print(ex.fig14_ipc(grid).render(), "\n")
+    print(ex.fig16_energy(grid).render(), "\n")
+    print(ex.fig17_latency_profile(grid).render(), "\n")
+    print(ex.fig19_metadata_overhead(grid=grid,
+                                     app=(apps or ["gcc"])[0]).render())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Run the reproduction self-check; exit non-zero on failed claims."""
+    from .analysis.validation import render_validation, validate
+    results = validate(requests=args.requests)
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--app", default="gcc", choices=app_names(),
+                       help="application profile (default: gcc)")
+        p.add_argument("--requests", type=int, default=20_000,
+                       help="trace length (default: 20000)")
+        p.add_argument("--seed", type=int, default=2023)
+        p.add_argument("--efit-kb", type=int, default=None,
+                       help="EFIT / fingerprint cache size in KB")
+        p.add_argument("--amt-kb", type=int, default=None,
+                       help="AMT / mapping cache size in KB")
+
+    run_p = sub.add_parser("run", help="run one scheme over one trace")
+    add_common(run_p)
+    run_p.add_argument("--scheme", default="3",
+                       help="0|1|2|3 or Baseline|Dedup_SHA1|DeWrite|ESD")
+    run_p.add_argument("--trace", default=None,
+                       help="replay a serialized trace instead of generating")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="all four schemes, one app")
+    add_common(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    gen_p = sub.add_parser("gen-trace", help="write a trace file")
+    add_common(gen_p)
+    gen_p.add_argument("--out", required=True, help="output path")
+    gen_p.set_defaults(func=cmd_gen_trace)
+
+    list_p = sub.add_parser("list-apps", help="list application profiles")
+    list_p.set_defaults(func=cmd_list_apps)
+
+    fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig_p.add_argument("--quick", action="store_true",
+                       help="4 apps / short traces")
+    fig_p.set_defaults(func=cmd_figures)
+
+    val_p = sub.add_parser("validate",
+                           help="self-check the paper's headline claims")
+    val_p.add_argument("--requests", type=int, default=8_000)
+    val_p.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Configuration dataclasses mirroring Table I of the paper.
+
+Every tunable in the reproduction lives here: processor/cache geometry, PCM
+timing and energy, metadata cache sizes, and per-scheme options.  Defaults
+reproduce the paper's experimental setup:
+
+========================  =====================================================
+Processor                 8 cores, x86-64, 2 GHz
+L1 (private)              32 KB, 8-way, 64 B lines, 2-cycle latency
+L2 (private)              256 KB, 8-way, 64 B lines, 8-cycle latency
+L3 (shared LLC)           16 MB, 8-way, 64 B lines, 25-cycle latency
+PCM capacity              16 GB
+PCM latency               read 75 ns / write 150 ns
+PCM energy                read 1.49 nJ / write 6.75 nJ
+Metadata cache            EFIT 512 KB, AMT 512 KB
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+from .types import CACHE_LINE_SIZE
+from .units import gib, is_power_of_two, kib, mib
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and access latency of one cache level."""
+
+    name: str
+    capacity_bytes: int
+    associativity: int
+    latency_cycles: int
+    line_size: int = CACHE_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if self.associativity <= 0:
+            raise ConfigError(f"{self.name}: associativity must be positive")
+        if self.line_size <= 0 or not is_power_of_two(self.line_size):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.capacity_bytes % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                f"{self.name}: capacity {self.capacity_bytes} not divisible by "
+                f"line_size*associativity"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two")
+        if self.latency_cycles < 0:
+            raise ConfigError(f"{self.name}: latency must be non-negative")
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """CPU core count, clock, and the three-level cache hierarchy."""
+
+    cores: int = 8
+    clock_ghz: float = 2.0
+    l1: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(
+        name="L1", capacity_bytes=kib(32), associativity=8, latency_cycles=2))
+    l2: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(
+        name="L2", capacity_bytes=kib(256), associativity=8, latency_cycles=8))
+    l3: CacheLevelConfig = field(default_factory=lambda: CacheLevelConfig(
+        name="L3", capacity_bytes=mib(16), associativity=8, latency_cycles=25))
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError("cores must be positive")
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one core clock cycle in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+
+@dataclass(frozen=True)
+class PCMConfig:
+    """PCM device timing, energy, and geometry (Table I + Lee et al.)."""
+
+    capacity_bytes: int = field(default_factory=lambda: gib(16))
+    read_latency_ns: float = 75.0
+    write_latency_ns: float = 150.0
+    read_energy_nj: float = 1.49
+    write_energy_nj: float = 6.75
+    num_banks: int = 8
+    line_size: int = CACHE_LINE_SIZE
+    #: Row-buffer (NVMain-style) parameters: a read that hits the bank's
+    #: open row is served from the row buffer at SRAM-like latency/energy.
+    row_size_lines: int = 64
+    row_hit_read_latency_ns: float = 15.0
+    row_hit_read_energy_nj: float = 0.5
+    #: PCM cell endurance (writes per cell before wear-out); 10-100M for PCM.
+    endurance_writes: int = 100_000_000
+    fail_on_endurance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("PCM capacity must be positive")
+        if self.capacity_bytes % self.line_size != 0:
+            raise ConfigError("PCM capacity must be line-aligned")
+        if self.read_latency_ns <= 0 or self.write_latency_ns <= 0:
+            raise ConfigError("PCM latencies must be positive")
+        if self.read_energy_nj < 0 or self.write_energy_nj < 0:
+            raise ConfigError("PCM energies must be non-negative")
+        if self.num_banks <= 0 or not is_power_of_two(self.num_banks):
+            raise ConfigError("num_banks must be a positive power of two")
+        if self.row_size_lines <= 0 or not is_power_of_two(self.row_size_lines):
+            raise ConfigError("row_size_lines must be a positive power of two")
+        if self.row_hit_read_latency_ns <= 0:
+            raise ConfigError("row-hit read latency must be positive")
+        if self.row_hit_read_energy_nj < 0:
+            raise ConfigError("row-hit read energy must be non-negative")
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class MetadataCacheConfig:
+    """Sizes of the memory-controller metadata caches (EFIT and AMT)."""
+
+    efit_bytes: int = field(default_factory=lambda: kib(512))
+    amt_bytes: int = field(default_factory=lambda: kib(512))
+    #: Latency of an on-chip metadata cache probe, folded into the controller
+    #: pipeline; the paper treats it as negligible.
+    probe_latency_ns: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.efit_bytes <= 0 or self.amt_bytes <= 0:
+            raise ConfigError("metadata cache sizes must be positive")
+        if self.probe_latency_ns < 0:
+            raise ConfigError("probe latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ESDConfig:
+    """ESD-specific knobs (Section III)."""
+
+    #: Maximum reference count recorded per EFIT entry (1-byte referH).  When
+    #: a line's count would exceed this, ESD treats the incoming line as new.
+    refer_h_max: int = 255
+    #: LRCU periodic refresh: every ``decay_period`` EFIT insertions, all
+    #: reference counters are decremented by ``decay_amount``.
+    decay_period: int = 4096
+    decay_amount: int = 1
+    #: Use the LRCU policy; False degrades the EFIT to plain LRU (the
+    #: "without LRCU" series of Figure 18).
+    use_lrcu: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.refer_h_max <= 255:
+            raise ConfigError("referH is a 1-byte field: 1..255")
+        if self.decay_period <= 0:
+            raise ConfigError("decay_period must be positive")
+        if self.decay_amount < 0:
+            raise ConfigError("decay_amount must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeWriteConfig:
+    """DeWrite-specific knobs (Zuo et al., MICRO'18)."""
+
+    #: Size of the per-line duplication-prediction history table (entries).
+    predictor_entries: int = 4096
+    #: Saturating-counter bits per predictor entry.
+    predictor_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.predictor_entries <= 0:
+            raise ConfigError("predictor_entries must be positive")
+        if not 1 <= self.predictor_bits <= 8:
+            raise ConfigError("predictor_bits must be 1..8")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration wiring the whole simulated system together."""
+
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    pcm: PCMConfig = field(default_factory=PCMConfig)
+    metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
+    esd: ESDConfig = field(default_factory=ESDConfig)
+    dewrite: DeWriteConfig = field(default_factory=DeWriteConfig)
+    #: Continuously verify that every read returns exactly the bytes most
+    #: recently written to that logical address (dedup-safety invariant).
+    verify_integrity: bool = True
+    #: Protect the encryption counters with a Merkle integrity tree
+    #: (Section III-E trust model): writes update the tree, reads verify
+    #: against the on-chip root.  Off by default — the paper's evaluation
+    #: treats counter protection as an orthogonal substrate.
+    protect_counters: bool = False
+    #: Per-level hash latency of the integrity tree walk (on-chip SHA
+    #: engine), charged when ``protect_counters`` is enabled.
+    integrity_hash_latency_ns: float = 5.0
+    #: RNG seed threaded through every stochastic component.
+    seed: int = 2023
+
+    def with_metadata_cache(self, *, efit_bytes: Optional[int] = None,
+                            amt_bytes: Optional[int] = None) -> "SystemConfig":
+        """Return a copy with resized metadata caches (Figure 18 sweeps)."""
+        mc = self.metadata_cache
+        new_mc = replace(
+            mc,
+            efit_bytes=efit_bytes if efit_bytes is not None else mc.efit_bytes,
+            amt_bytes=amt_bytes if amt_bytes is not None else mc.amt_bytes,
+        )
+        return replace(self, metadata_cache=new_mc)
+
+    def with_esd(self, **kwargs) -> "SystemConfig":
+        """Return a copy with modified ESD options."""
+        return replace(self, esd=replace(self.esd, **kwargs))
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        return replace(self, seed=seed)
+
+
+def default_config() -> SystemConfig:
+    """The paper's Table I configuration."""
+    return SystemConfig()
+
+
+def small_test_config() -> SystemConfig:
+    """A scaled-down configuration for fast unit tests.
+
+    Shrinks the PCM device and metadata caches so tests exercising
+    replacement and allocation pressure run in milliseconds.
+    """
+    return SystemConfig(
+        pcm=PCMConfig(capacity_bytes=mib(4), num_banks=4),
+        metadata_cache=MetadataCacheConfig(efit_bytes=kib(8), amt_bytes=kib(8)),
+    )

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ESD reproduction library.
+
+Every exception raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ECCError(ReproError):
+    """Base class for ECC codec failures."""
+
+
+class UncorrectableError(ECCError):
+    """An ECC decode detected an error pattern it cannot correct.
+
+    SEC-DED codes correct single-bit errors and *detect* (but cannot correct)
+    double-bit errors; a double-bit detection raises this error.
+    """
+
+    def __init__(self, message: str, *, word_index: int = -1) -> None:
+        super().__init__(message)
+        #: Index of the 8-byte word within the cache line where decoding
+        #: failed, or -1 when unknown / not applicable.
+        self.word_index = word_index
+
+
+class DeviceError(ReproError):
+    """Base class for NVMM device failures."""
+
+
+class OutOfSpaceError(DeviceError):
+    """The NVMM frame allocator has no free physical frames left."""
+
+
+class InvalidAddressError(DeviceError):
+    """An address fell outside the device's configured capacity."""
+
+
+class EnduranceExceededError(DeviceError):
+    """A physical frame surpassed its configured write-endurance limit.
+
+    Raised only when the device is configured with
+    ``fail_on_endurance=True``; by default wear is merely recorded.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace file is malformed or version-incompatible."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class IntegrityError(SimulationError):
+    """Read-back verification observed data different from what was written.
+
+    This is the invariant deduplication must never violate: eliminating a
+    write is only legal when the stored bytes are identical to the incoming
+    bytes.  The simulator checks this continuously when
+    ``SystemConfig.verify_integrity`` is enabled.
+    """

@@ -1,0 +1,211 @@
+"""Statistics collection: counters, latency samples, percentiles, CDFs.
+
+The paper's evaluation reports averages (speedups, energy), distributions
+(Figure 15's write-latency CDFs), and shares (Figure 17's latency profile).
+:class:`LatencyRecorder` keeps raw samples (optionally reservoir-sampled for
+long runs) and serves percentiles and CDF series; :class:`Counter` is a
+simple named tally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Counter:
+    """A named collection of monotonically increasing tallies."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``, or 0.0 when the denominator is zero."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.values)
+
+
+class RunningMean:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class LatencyRecorder:
+    """Collects latency samples and serves summary statistics.
+
+    For bounded memory on long simulations the recorder keeps at most
+    ``max_samples`` raw values using reservoir sampling, while the running
+    mean/min/max/sum remain exact over the full stream.
+    """
+
+    def __init__(self, max_samples: int = 200_000, *,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._max_samples = max_samples
+        self._samples: List[float] = []
+        self._rng = rng or np.random.default_rng(0xE5D)
+        self._running = RunningMean()
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._seen = 0
+
+    def add(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        self._seen += 1
+        self._running.add(latency_ns)
+        self._total += latency_ns
+        self._min = min(self._min, latency_ns)
+        self._max = max(self._max, latency_ns)
+        if len(self._samples) < self._max_samples:
+            self._samples.append(latency_ns)
+        else:
+            # Reservoir sampling keeps a uniform subsample of the stream.
+            j = int(self._rng.integers(0, self._seen))
+            if j < self._max_samples:
+                self._samples[j] = latency_ns
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        for x in latencies:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        return self._seen
+
+    @property
+    def total_ns(self) -> float:
+        return self._total
+
+    @property
+    def mean_ns(self) -> float:
+        return self._running.mean
+
+    @property
+    def stddev_ns(self) -> float:
+        return self._running.stddev
+
+    @property
+    def min_ns(self) -> float:
+        return self._min if self._seen else 0.0
+
+    @property
+    def max_ns(self) -> float:
+        return self._max if self._seen else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of recorded samples."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), p))
+
+    def tail_summary(self) -> Dict[str, float]:
+        """Common tail percentiles (p50/p90/p99/p999) as a dict."""
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+    def cdf(self, points: int = 100) -> Tuple[List[float], List[float]]:
+        """Empirical CDF as ``(latencies, cumulative_fractions)``.
+
+        Suitable for plotting Figure 15: x is latency in ns, y rises from
+        ~1/n to 1.0.
+        """
+        if points <= 0:
+            raise ValueError("points must be positive")
+        if not self._samples:
+            return [], []
+        data = np.sort(np.asarray(self._samples))
+        if len(data) <= points:
+            xs = data
+            ys = (np.arange(1, len(data) + 1)) / len(data)
+        else:
+            # Sample the CDF at evenly spaced quantiles.
+            qs = np.linspace(0, 100, points)
+            xs = np.percentile(data, qs)
+            ys = qs / 100.0
+        return [float(x) for x in xs], [float(y) for y in ys]
+
+    def samples(self) -> Sequence[float]:
+        """The retained (possibly subsampled) raw latency values."""
+        return tuple(self._samples)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the conventional average for speedup ratios."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; appropriate for averaging rates such as IPC."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def normalize_to(values: Dict[str, float], reference: str) -> Dict[str, float]:
+    """Normalize a mapping of series values to one reference key.
+
+    Matches the paper's presentation style ("normalized to the Baseline").
+    """
+    if reference not in values:
+        raise KeyError(f"reference series {reference!r} missing")
+    ref = values[reference]
+    if ref == 0:
+        raise ValueError("reference value is zero; cannot normalize")
+    return {k: v / ref for k, v in values.items()}

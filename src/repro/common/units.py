@@ -1,0 +1,117 @@
+"""Unit helpers for the ESD simulator.
+
+All time quantities in the simulator are expressed in *nanoseconds* (float),
+all energy quantities in *nanojoules* (float), and all capacities in *bytes*
+(int).  This module centralizes the named constants and conversion helpers so
+configuration code reads like the paper ("75 ns", "6.75 nJ", "512 KB") instead
+of raw magic numbers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time (canonical unit: nanoseconds)
+# ---------------------------------------------------------------------------
+
+NANOSECOND = 1.0
+MICROSECOND = 1_000.0
+MILLISECOND = 1_000_000.0
+SECOND = 1_000_000_000.0
+
+
+def ns(value: float) -> float:
+    """Express ``value`` nanoseconds in canonical time units."""
+    return value * NANOSECOND
+
+
+def us(value: float) -> float:
+    """Express ``value`` microseconds in canonical time units."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Express ``value`` milliseconds in canonical time units."""
+    return value * MILLISECOND
+
+
+def seconds(value: float) -> float:
+    """Express ``value`` seconds in canonical time units."""
+    return value * SECOND
+
+
+def to_us(value_ns: float) -> float:
+    """Convert canonical time units (ns) to microseconds."""
+    return value_ns / MICROSECOND
+
+
+def to_ms(value_ns: float) -> float:
+    """Convert canonical time units (ns) to milliseconds."""
+    return value_ns / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Energy (canonical unit: nanojoules)
+# ---------------------------------------------------------------------------
+
+NANOJOULE = 1.0
+PICOJOULE = 0.001
+MICROJOULE = 1_000.0
+MILLIJOULE = 1_000_000.0
+
+
+def nj(value: float) -> float:
+    """Express ``value`` nanojoules in canonical energy units."""
+    return value * NANOJOULE
+
+
+def pj(value: float) -> float:
+    """Express ``value`` picojoules in canonical energy units."""
+    return value * PICOJOULE
+
+
+def to_mj(value_nj: float) -> float:
+    """Convert canonical energy units (nJ) to millijoules."""
+    return value_nj / MILLIJOULE
+
+
+# ---------------------------------------------------------------------------
+# Capacity (canonical unit: bytes)
+# ---------------------------------------------------------------------------
+
+BYTE = 1
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+
+def kib(value: float) -> int:
+    """Express ``value`` KiB in bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Express ``value`` MiB in bytes."""
+    return int(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Express ``value`` GiB in bytes."""
+    return int(value * GIB)
+
+
+def human_bytes(n: int) -> str:
+    """Render a byte count using binary units, e.g. ``524288 -> '512.0 KiB'``."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0

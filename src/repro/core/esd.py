@@ -1,0 +1,187 @@
+"""ESD: ECC-assisted and Selective Deduplication (the paper's contribution).
+
+The write pipeline (Figure 9):
+
+1. **Obtain the ECC** travelling with the evicted line — zero marginal
+   latency and energy (the controller computes it for error protection
+   regardless).
+2. **Probe the EFIT** (on-chip only).  A miss definitively ends the dedup
+   attempt: the line is treated as non-duplicate and written — no hash was
+   computed, no NVMM lookup was made.  The new line's ECC is inserted into
+   the EFIT under the LRCU policy.
+3. **On a hit, confirm by content**: ECC equality only implies similarity,
+   so ESD reads the candidate frame from NVMM, decrypts, and byte-compares
+   (exploiting PCM's cheap reads relative to writes).  Equal content with
+   ``referH`` headroom eliminates the write (remap in the AMT, bump
+   ``referH``); unequal content (an ECC collision) or a saturated
+   ``referH`` falls back to the unique-write path.
+
+Every dropped write is a PCM write (150 ns, 6.75 nJ) traded for at most a
+PCM read (75 ns, 1.49 nJ) plus an on-chip compare — the asymmetric
+read/write economics the design leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import SystemConfig
+from ..common.types import (
+    CACHE_LINE_SIZE,
+    MemoryRequest,
+    WritePathStage,
+)
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..dedup.base import DedupScheme, MetadataFootprint, ReadResult, WriteResult
+from ..dedup.mapping import FrameRefcounts
+from ..ecc.codec import line_ecc
+from .amt import AddressMappingTable
+from .efit import EFIT, EFIT_ENTRY_SIZE
+
+
+class ESDScheme(DedupScheme):
+    """ECC-assisted selective deduplication for encrypted NVMM."""
+
+    name = "ESD"
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        super().__init__(config, costs)
+        self.efit = EFIT(self.config.metadata_cache, self.config.esd)
+        self.amt = AddressMappingTable(self.config.metadata_cache,
+                                       self.controller)
+        self.refcounts = FrameRefcounts(self.allocator)
+        #: frame -> ECC, to invalidate EFIT entries of recycled frames.
+        self._frame_ecc: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Write-path helpers
+    # ------------------------------------------------------------------
+
+    def _release_previous(self, logical_line: int) -> None:
+        old_frame = self.amt.current_frame(logical_line)
+        if old_frame is None:
+            return
+        remaining = self.refcounts.release(old_frame)
+        if remaining == 0:
+            ecc = self._frame_ecc.pop(old_frame, None)
+            if ecc is not None:
+                self.efit.remove(ecc)
+
+    def _write_unique(self, request: MemoryRequest, ecc: int,
+                      at_time_ns: float,
+                      stages: Dict[WritePathStage, float],
+                      *, index_in_efit: bool) -> WriteResult:
+        """Encrypt + write a non-duplicate line, then update metadata."""
+        assert request.data is not None
+        self._release_previous(request.line_index)
+        frame = self.allocator.allocate()
+        completion = self._encrypt_and_write(frame, request.data,
+                                             at_time_ns, stages)
+        self.refcounts.acquire(frame)
+        if index_in_efit:
+            evicted_frame = self.efit.insert(ecc, frame)
+            if evicted_frame is not None:
+                self._frame_ecc.pop(evicted_frame, None)
+            self._frame_ecc[frame] = ecc
+        t = self.amt.update(request.line_index, frame, completion)
+        stages[WritePathStage.METADATA] = stages.get(
+            WritePathStage.METADATA, 0.0) + (t - completion)
+        self._record_write(stages)
+        return WriteResult(completion_ns=t,
+                           latency_ns=t - request.issue_time_ns,
+                           deduplicated=False, wrote_line=True, stages=stages)
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+
+    def handle_write(self, request: MemoryRequest) -> WriteResult:
+        assert request.data is not None
+        self.counters.incr("writes")
+        stages: Dict[WritePathStage, float] = {}
+
+        # 1. ECC fingerprint: already computed by the controller — free.
+        ecc = line_ecc(request.data)
+
+        # 2. On-chip EFIT probe; the only fingerprint lookup ESD ever does.
+        entry, probe_ns = self.efit.lookup(ecc)
+        t = request.issue_time_ns + probe_ns
+
+        if entry is None:
+            # Miss: definitively treated as non-duplicate; index it.
+            return self._write_unique(request, ecc, t, stages,
+                                      index_in_efit=True)
+
+        # 3. Similar line found: confirm with a byte-by-byte comparison.
+        stored, t_read = self._read_and_decrypt(entry.frame, t)
+        t_read += self._charge_compare()
+        stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
+        t = t_read
+
+        if stored != request.data:
+            # ECC collision: same fingerprint, different content.  The
+            # entry keeps its frame; the incoming line is written fresh
+            # (and is not indexed — its ECC slot is taken).
+            self.counters.incr("ecc_collisions")
+            return self._write_unique(request, ecc, t, stages,
+                                      index_in_efit=False)
+
+        if self.efit.refer_h_saturated(ecc):
+            # referH is a 1-byte field; once it saturates ESD treats the
+            # line as new and re-points the EFIT entry at the fresh frame
+            # (Section III-D).
+            self.counters.incr("referh_overflows")
+            self._frame_ecc.pop(entry.frame, None)
+            result = self._write_unique(request, ecc, t, stages,
+                                        index_in_efit=False)
+            new_frame = self.amt.current_frame(request.line_index)
+            assert new_frame is not None
+            self.efit.replace_frame(ecc, new_frame)
+            self._frame_ecc[new_frame] = ecc
+            return result
+
+        # 4. Confirmed duplicate: eliminate the write.  Acquire before
+        # releasing the old mapping — when the line rewrites the content it
+        # already references, releasing first would free the frame (and its
+        # EFIT entry) mid-commit.
+        self.counters.incr("dedup_hits")
+        self.refcounts.acquire(entry.frame)
+        self._release_previous(request.line_index)
+        self.efit.record_duplicate(ecc)
+        t2 = self.amt.update(request.line_index, entry.frame, t)
+        stages[WritePathStage.METADATA] = stages.get(
+            WritePathStage.METADATA, 0.0) + (t2 - t)
+        self._record_write(stages)
+        return WriteResult(completion_ns=t2,
+                           latency_ns=t2 - request.issue_time_ns,
+                           deduplicated=True, wrote_line=False, stages=stages)
+
+    def handle_read(self, request: MemoryRequest) -> ReadResult:
+        self.counters.incr("reads")
+        frame, t, _hit = self.amt.lookup(request.line_index,
+                                         request.issue_time_ns)
+        if frame is None:
+            return ReadResult(data=bytes(CACHE_LINE_SIZE), completion_ns=t,
+                              latency_ns=t - request.issue_time_ns)
+        plaintext, completion = self._read_and_decrypt(frame, t)
+        return ReadResult(data=plaintext, completion_ns=completion,
+                          latency_ns=completion - request.issue_time_ns)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def metadata_footprint(self) -> MetadataFootprint:
+        """EFIT is on-chip only; the AMT home is ESD's sole NVMM metadata."""
+        return MetadataFootprint(
+            onchip_bytes=self.efit.onchip_bytes() + self.amt.onchip_bytes(),
+            nvmm_bytes=self.amt.nvmm_bytes())
+
+    @property
+    def efit_hit_rate(self) -> float:
+        return self.efit.hit_rate
+
+    @property
+    def amt_hit_rate(self) -> float:
+        return self.amt.hit_rate

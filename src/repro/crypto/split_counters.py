@@ -1,0 +1,195 @@
+"""Split-counter organization for counter-mode encryption.
+
+Production secure memories (DEUCE, SuperMem, Osiris lineage — the works
+the paper builds its encryption assumptions on) do not store a full 64-bit
+counter per line: they keep one large **major** counter per page plus a
+small **minor** counter per line.  The pad derives from (major, minor).
+When a line's minor counter overflows, the page's major counter advances
+and *every line in the page is re-encrypted* — a burst of extra writes.
+
+This module provides that organization as an alternative backing store
+for :class:`~repro.crypto.counter_mode.CounterModeEngine`-style pads, with
+the overflow/re-encryption behaviour observable for experiments: minor
+width trades metadata space against re-encryption storms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+from ..common.types import CACHE_LINE_SIZE, validate_line
+
+#: Cache lines per page (4 KiB pages of 64 B lines).
+LINES_PER_PAGE = 64
+
+
+@dataclass(frozen=True)
+class SplitCounterConfig:
+    """Geometry of the split-counter organization."""
+
+    minor_bits: int = 7
+    major_bits: int = 64
+    lines_per_page: int = LINES_PER_PAGE
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.minor_bits <= 16:
+            raise ConfigError("minor_bits must be 1..16")
+        if not 8 <= self.major_bits <= 64:
+            raise ConfigError("major_bits must be 8..64")
+        if self.lines_per_page <= 0:
+            raise ConfigError("lines_per_page must be positive")
+
+    @property
+    def minor_max(self) -> int:
+        return (1 << self.minor_bits) - 1
+
+    def metadata_bits_per_line(self) -> float:
+        """Counter metadata cost per line (minor + amortized major)."""
+        return self.minor_bits + self.major_bits / self.lines_per_page
+
+
+@dataclass
+class _PageCounters:
+    major: int = 1
+    minors: Dict[int, int] = field(default_factory=dict)
+
+
+class SplitCounterTable:
+    """Per-page major + per-line minor counters with overflow handling.
+
+    Args:
+        config: counter geometry.
+        on_page_reencrypt: callback invoked with (page_number, line_numbers)
+            when a minor overflow forces a page re-encryption; the caller
+            (memory controller model) charges the write burst.
+    """
+
+    def __init__(self, config: Optional[SplitCounterConfig] = None,
+                 on_page_reencrypt: Optional[Callable] = None) -> None:
+        self.config = config or SplitCounterConfig()
+        self._pages: Dict[int, _PageCounters] = {}
+        self._on_reencrypt = on_page_reencrypt
+        self.page_reencryptions = 0
+        self.reencrypted_lines = 0
+
+    def _page_of(self, line_number: int) -> Tuple[int, int]:
+        return (line_number // self.config.lines_per_page,
+                line_number % self.config.lines_per_page)
+
+    def current(self, line_number: int) -> Tuple[int, int]:
+        """(major, minor) pair a read would use."""
+        page_number, slot = self._page_of(line_number)
+        page = self._pages.get(page_number)
+        if page is None:
+            return 1, 0
+        return page.major, page.minors.get(slot, 0)
+
+    def advance(self, line_number: int) -> Tuple[int, int]:
+        """Advance for a write; handles minor overflow.
+
+        Returns the (major, minor) pair the write's pad must use.
+        """
+        page_number, slot = self._page_of(line_number)
+        page = self._pages.setdefault(page_number, _PageCounters())
+        minor = page.minors.get(slot, 0) + 1
+        if minor > self.config.minor_max:
+            # Overflow: bump the major, reset every minor, re-encrypt the
+            # page's written lines under the new major.  Reset slots stay
+            # in the dict at 0 so *future* overflows still know they hold
+            # data needing re-encryption.
+            page.major += 1
+            touched = sorted(page.minors)
+            page.minors = {s: 0 for s in touched}
+            page.minors[slot] = 1
+            self.page_reencryptions += 1
+            self.reencrypted_lines += len(touched)
+            if self._on_reencrypt is not None:
+                base = page_number * self.config.lines_per_page
+                self._on_reencrypt(page_number,
+                                   [base + s for s in touched if s != slot])
+            return page.major, 1
+        page.minors[slot] = minor
+        return page.major, minor
+
+    def touched_pages(self) -> int:
+        return len(self._pages)
+
+    def metadata_bytes(self, num_lines_touched: int) -> int:
+        """Approximate counter-store footprint for the touched region."""
+        bits = (self.touched_pages() * self.config.major_bits
+                + num_lines_touched * self.config.minor_bits)
+        return (bits + 7) // 8
+
+
+class SplitCounterModeEngine:
+    """Counter-mode encryption backed by split counters.
+
+    Functionally equivalent to
+    :class:`~repro.crypto.counter_mode.CounterModeEngine` (keyed pad,
+    XOR, per-write freshness) but the pad binds to (line, major, minor)
+    and minor overflow triggers page re-encryption.  The engine keeps the
+    plaintext of live lines so re-encryption is exact.
+    """
+
+    def __init__(self, key: bytes = b"\x29" * 32,
+                 config: Optional[SplitCounterConfig] = None) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._key = bytes(key)
+        self.counters = SplitCounterTable(config,
+                                          on_page_reencrypt=self._reencrypt)
+        #: line -> current plaintext (needed to re-encrypt on overflow).
+        self._plaintexts: Dict[int, bytes] = {}
+        #: line -> current ciphertext (the device-facing view).
+        self._ciphertexts: Dict[int, bytes] = {}
+        self.encrypt_count = 0
+        #: Lines rewritten due to minor-counter overflow (extra PCM writes
+        #: a real system would issue).
+        self.overflow_writes = 0
+
+    def _pad(self, line_number: int, major: int, minor: int) -> bytes:
+        pads = []
+        for block in range(2):
+            msg = self._key + struct.pack("<QQIB", line_number, major,
+                                          minor, block)
+            pads.append(hashlib.sha256(msg).digest())
+        return b"".join(pads)
+
+    def _apply(self, data: bytes, pad: bytes) -> bytes:
+        return bytes(a ^ b for a, b in zip(data, pad))
+
+    def _reencrypt(self, _page_number: int, line_numbers: List[int]) -> None:
+        for line in line_numbers:
+            plaintext = self._plaintexts.get(line)
+            if plaintext is None:
+                continue
+            major, minor = self.counters.current(line)
+            self._ciphertexts[line] = self._apply(
+                plaintext, self._pad(line, major, minor))
+            self.overflow_writes += 1
+
+    def encrypt(self, plaintext: bytes, line_number: int) -> bytes:
+        """Encrypt a line; may trigger a page re-encryption burst."""
+        validate_line(plaintext)
+        self._plaintexts[line_number] = bytes(plaintext)
+        major, minor = self.counters.advance(line_number)
+        ciphertext = self._apply(plaintext, self._pad(line_number, major,
+                                                      minor))
+        self._ciphertexts[line_number] = ciphertext
+        self.encrypt_count += 1
+        return ciphertext
+
+    def decrypt(self, line_number: int) -> bytes:
+        """Decrypt the line's current ciphertext."""
+        ciphertext = self._ciphertexts.get(line_number)
+        if ciphertext is None:
+            return bytes(CACHE_LINE_SIZE)
+        major, minor = self.counters.current(line_number)
+        return self._apply(ciphertext, self._pad(line_number, major, minor))
+
+    def stored_ciphertext(self, line_number: int) -> Optional[bytes]:
+        return self._ciphertexts.get(line_number)

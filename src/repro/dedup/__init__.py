@@ -1,0 +1,81 @@
+"""Deduplication scheme zoo: Baseline, Dedup_SHA1, DeWrite (+ shared parts).
+
+The ESD scheme itself lives in :mod:`repro.core`; :func:`make_scheme` builds
+any of the four by name.
+"""
+
+from typing import Optional
+
+from ..common.config import SystemConfig
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from .base import DedupScheme, MetadataFootprint, ReadResult, WriteResult
+from .baseline import BaselineScheme
+from .dae_pde import DaEScheme, PDEScheme
+from .dedup_sha1 import DedupSHA1Scheme
+from .dewrite import DeWriteScheme
+from .fingerprint_store import FullFingerprintStore, LookupResult, LookupWhere
+from .full_dedup import FullDedupScheme
+from .mapping import FrameRefcounts, MappingTable
+from .predictor import DuplicationPredictor, PredictionStats
+
+#: Scheme names in the paper's presentation order (the evaluation grid).
+SCHEME_NAMES = ("Baseline", "Dedup_SHA1", "DeWrite", "ESD")
+
+#: Additional schemes: the paper's rejected motivation orderings
+#: (Section II-C), the NV-Dedup related work, and the ESD-Delta extension.
+EXTENDED_SCHEME_NAMES = SCHEME_NAMES + ("DaE", "PDE", "NV-Dedup",
+                                        "ESD-Delta")
+
+
+def make_scheme(name: str, config: Optional[SystemConfig] = None,
+                costs: CryptoCosts = DEFAULT_COSTS) -> DedupScheme:
+    """Instantiate a scheme by its paper name.
+
+    Accepts the evaluation schemes ``Baseline``, ``Dedup_SHA1``,
+    ``DeWrite``, ``ESD`` plus the motivation schemes ``DaE`` and ``PDE``.
+    """
+    if name == "Baseline":
+        return BaselineScheme(config, costs)
+    if name == "Dedup_SHA1":
+        return DedupSHA1Scheme(config, costs)
+    if name == "DeWrite":
+        return DeWriteScheme(config, costs)
+    if name == "ESD":
+        from ..core.esd import ESDScheme
+        return ESDScheme(config, costs)
+    if name == "DaE":
+        return DaEScheme(config, costs)
+    if name == "PDE":
+        return PDEScheme(config, costs)
+    if name == "NV-Dedup":
+        from .nvdedup import NVDedupScheme
+        return NVDedupScheme(config, costs)
+    if name == "ESD-Delta":
+        from ..core.esd_delta import ESDDeltaScheme
+        return ESDDeltaScheme(config, costs)
+    raise ValueError(
+        f"unknown scheme {name!r}; known: {EXTENDED_SCHEME_NAMES}")
+
+
+__all__ = [
+    "BaselineScheme",
+    "DaEScheme",
+    "DedupScheme",
+    "DedupSHA1Scheme",
+    "DeWriteScheme",
+    "DuplicationPredictor",
+    "EXTENDED_SCHEME_NAMES",
+    "PDEScheme",
+    "FrameRefcounts",
+    "FullDedupScheme",
+    "FullFingerprintStore",
+    "LookupResult",
+    "LookupWhere",
+    "MappingTable",
+    "MetadataFootprint",
+    "PredictionStats",
+    "ReadResult",
+    "SCHEME_NAMES",
+    "WriteResult",
+    "make_scheme",
+]

@@ -1,0 +1,208 @@
+"""Scheme interface shared by Baseline, Dedup_SHA1, DeWrite, and ESD.
+
+Every scheme consumes :class:`~repro.common.types.MemoryRequest` objects and
+returns per-request timing results; the simulation engine treats all four
+identically, which is what lets every benchmark sweep schemes uniformly.
+
+A scheme owns:
+
+* a :class:`~repro.nvmm.controller.MemoryController` (PCM timing/energy),
+* a :class:`~repro.crypto.counter_mode.CounterModeEngine` (encryption),
+* an :class:`~repro.nvmm.energy.EnergyAccount` for crypto/fingerprint energy
+  (PCM energy is accounted inside the controller),
+* a :class:`~repro.common.types.LatencyBreakdown` accumulating the Figure 17
+  write-path profile,
+* counters for dedup effectiveness (duplicates eliminated, writes issued).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..common.config import SystemConfig
+from ..common.stats import Counter
+from ..common.types import (
+    LatencyBreakdown,
+    MemoryRequest,
+    WritePathStage,
+)
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..crypto.counter_mode import CounterModeEngine
+from ..nvmm.allocator import FrameAllocator
+from ..nvmm.controller import MemoryController
+from ..nvmm.energy import EnergyAccount, EnergyCategory
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Timing outcome of one write handled by a scheme."""
+
+    completion_ns: float
+    latency_ns: float
+    deduplicated: bool
+    #: True when a data line was physically written to PCM.
+    wrote_line: bool
+    #: Per-stage latency of this write (feeds Figure 17).
+    stages: Dict[WritePathStage, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Timing + data outcome of one read handled by a scheme."""
+
+    data: bytes
+    completion_ns: float
+    latency_ns: float
+
+
+@dataclass(frozen=True)
+class MetadataFootprint:
+    """Measured metadata space consumption of a scheme (Figure 19)."""
+
+    onchip_bytes: int
+    nvmm_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.onchip_bytes + self.nvmm_bytes
+
+
+class DedupScheme(abc.ABC):
+    """Base class wiring the shared substrates together."""
+
+    #: Scheme identifier used in results tables ("Baseline", "Dedup_SHA1",
+    #: "DeWrite", "ESD").
+    name: str = "abstract"
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        self.config = config or SystemConfig()
+        self.costs = costs
+        self.controller = MemoryController(self.config.pcm)
+        self.allocator = FrameAllocator(self.config.pcm.num_lines)
+        self.crypto = CounterModeEngine(costs=costs)
+        self.crypto_energy = EnergyAccount()
+        self.breakdown = LatencyBreakdown()
+        self.counters = Counter()
+        #: Optional counter-integrity tree (Section III-E trust model).
+        self.integrity_tree = None
+        if self.config.protect_counters:
+            from ..crypto.integrity import CounterIntegrityTree
+            self.integrity_tree = CounterIntegrityTree(
+                self.crypto.counters, self.config.pcm.num_lines)
+
+    def _integrity_update(self, frame: int) -> float:
+        """Maintain the counter tree after a write; returns its latency."""
+        if self.integrity_tree is None:
+            return 0.0
+        self.integrity_tree.update(frame)
+        return (self.integrity_tree.depth
+                * self.config.integrity_hash_latency_ns)
+
+    def _integrity_verify(self, frame: int) -> float:
+        """Verify the counter path before trusting a read's pad."""
+        if self.integrity_tree is None:
+            return 0.0
+        self.integrity_tree.verify(frame)
+        return (self.integrity_tree.depth
+                * self.config.integrity_hash_latency_ns)
+
+    # ------------------------------------------------------------------
+    # Abstract request handlers
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def handle_write(self, request: MemoryRequest) -> WriteResult:
+        """Process one write-back arriving at the memory controller."""
+
+    @abc.abstractmethod
+    def handle_read(self, request: MemoryRequest) -> ReadResult:
+        """Process one LLC miss fill; must return the current plaintext."""
+
+    @abc.abstractmethod
+    def metadata_footprint(self) -> MetadataFootprint:
+        """Current measured metadata space consumption."""
+
+    # ------------------------------------------------------------------
+    # Shared building blocks
+    # ------------------------------------------------------------------
+
+    def _charge_fingerprint(self, latency_ns: float, energy_nj: float) -> None:
+        self.crypto_energy.charge(EnergyCategory.FINGERPRINT, energy_nj)
+        self.breakdown.add(WritePathStage.FINGERPRINT_COMPUTE, latency_ns)
+
+    def _encrypt_and_write(self, frame: int, plaintext: bytes,
+                           at_time_ns: float,
+                           stages: Dict[WritePathStage, float]) -> float:
+        """Encrypt a line and write its ciphertext to PCM; returns completion."""
+        enc = self.crypto.encrypt(plaintext, frame)
+        self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
+                                  self.crypto.encrypt_energy_nj)
+        t = at_time_ns + self.crypto.encrypt_latency_ns
+        stages[WritePathStage.ENCRYPTION] = stages.get(
+            WritePathStage.ENCRYPTION, 0.0) + self.crypto.encrypt_latency_ns
+        tree_ns = self._integrity_update(frame)
+        if tree_ns:
+            stages[WritePathStage.METADATA] = stages.get(
+                WritePathStage.METADATA, 0.0) + tree_ns
+            t += tree_ns
+        result = self.controller.write(frame, enc.ciphertext, t)
+        stages[WritePathStage.WRITE_UNIQUE] = stages.get(
+            WritePathStage.WRITE_UNIQUE, 0.0) + result.latency_ns
+        return result.completion_ns
+
+    def _read_and_decrypt(self, frame: int, at_time_ns: float) -> "tuple[bytes, float]":
+        """Read a frame and decrypt it; returns (plaintext, completion).
+
+        With ``protect_counters`` enabled, the counter's integrity path is
+        verified (overlapping the PCM read; only the excess is exposed).
+        """
+        ciphertext, access = self.controller.read(frame, at_time_ns)
+        tree_ns = self._integrity_verify(frame)
+        self.crypto_energy.charge(EnergyCategory.DECRYPTION,
+                                  self.crypto.decrypt_energy_nj)
+        plaintext = self.crypto.decrypt_at(ciphertext, frame)
+        completion = access.completion_ns + self.crypto.decrypt_latency_ns
+        # The tree walk overlaps the (slower) PCM array access.
+        exposed_tree = max(0.0, at_time_ns + tree_ns - access.completion_ns)
+        return plaintext, completion + exposed_tree
+
+    def _charge_compare(self) -> float:
+        """Account one byte-by-byte line comparison; returns its latency."""
+        self.crypto_energy.charge(EnergyCategory.COMPARISON,
+                                  self.costs.compare.energy_nj)
+        return self.costs.compare.latency_ns
+
+    def _record_write(self, stages: Dict[WritePathStage, float]) -> None:
+        """Fold one write's stage latencies into the running breakdown."""
+        for stage, latency in stages.items():
+            self.breakdown.add(stage, latency)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_energy(self) -> EnergyAccount:
+        """PCM energy (controller) merged with crypto/fingerprint energy."""
+        return self.controller.energy.merged_with(self.crypto_energy)
+
+    @property
+    def pcm_data_writes(self) -> int:
+        return self.controller.data_writes
+
+    @property
+    def duplicates_eliminated(self) -> int:
+        return self.counters.get("dedup_hits")
+
+    @property
+    def writes_handled(self) -> int:
+        return self.counters.get("writes")
+
+    def write_reduction(self) -> float:
+        """Fraction of handled writes that never reached PCM as data writes."""
+        handled = self.writes_handled
+        if handled == 0:
+            return 0.0
+        return 1.0 - (self.controller.data_writes / handled)

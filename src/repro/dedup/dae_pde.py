@@ -1,0 +1,172 @@
+"""The rejected alternatives: DaE and PDE (Section II-C).
+
+The paper motivates ESD by eliminating the two straightforward ways of
+combining deduplication with encryption:
+
+* **DaE — Deduplication after Encryption.**  Fingerprint the *ciphertext*.
+  Under counter-mode encryption the pad depends on (address, write count),
+  so identical plaintexts encrypt to unrelated ciphertexts; the "strong
+  diffusion effect" destroys all duplicate structure and DaE's dedup rate
+  collapses to ~0 (only an exact pad+plaintext coincidence could match).
+  This scheme exists to *demonstrate* that collapse.
+
+* **PDE — Parallelism of Deduplication and Encryption.**  Compute the
+  fingerprint and the encryption of *every* line concurrently.  The
+  fingerprint latency of unique lines hides under the encryption, but the
+  energy of both operations is burned on every line — including the
+  duplicates whose encryption is discarded.  The paper rejects PDE on
+  exactly this energy argument.
+
+Both reuse the full-dedup machinery so their only differences from
+Dedup_SHA1 are the pipeline orderings under study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import SystemConfig
+from ..common.types import MemoryRequest, WritePathStage
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..crypto.fingerprints import SHA1Engine
+from ..nvmm.energy import EnergyCategory
+from .base import WriteResult
+from .full_dedup import FullDedupScheme
+
+
+class DaEScheme(FullDedupScheme):
+    """Deduplication-after-Encryption: fingerprint the ciphertext.
+
+    Retained for the motivation experiment only — its dedup rate against
+    counter-mode ciphertext is ~0, reproducing the paper's argument that
+    DaE "is not applicable" to encrypted NVMM.
+    """
+
+    name = "DaE"
+    fingerprint_entry_size = 26
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        super().__init__(config, costs)
+        self.engine = SHA1Engine(costs)
+
+    def handle_write(self, request: MemoryRequest) -> WriteResult:
+        assert request.data is not None
+        self.counters.incr("writes")
+        stages: Dict[WritePathStage, float] = {}
+        t = request.issue_time_ns
+
+        # 1. Encrypt first (DaE's defining order).  The frame must be
+        # allocated before encryption because the pad binds to it.
+        self._release_previous(request.line_index)
+        frame = self.allocator.allocate()
+        encrypted = self.crypto.encrypt(request.data, frame)
+        self._integrity_update(frame)
+        self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
+                                  self.crypto.encrypt_energy_nj)
+        stages[WritePathStage.ENCRYPTION] = self.crypto.encrypt_latency_ns
+        t += self.crypto.encrypt_latency_ns
+
+        # 2. Fingerprint the *ciphertext*.
+        fingerprint = self.engine.fingerprint(encrypted.ciphertext)
+        self._charge_fingerprint(self.engine.latency_ns, self.engine.energy_nj)
+        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.engine.latency_ns
+        t += self.engine.latency_ns
+
+        # 3. Lookup.  Diffusion makes a hit essentially impossible, but the
+        # pipeline is honest: a hit would dedup.
+        lookup = self.store.lookup(fingerprint, t)
+        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
+            lookup.completion_ns - t)
+        t = lookup.completion_ns
+
+        if lookup.found:
+            # The allocated frame is not needed after all.
+            self.allocator.free(frame)
+            assert lookup.frame is not None
+            completion = self._commit_duplicate(request.line_index,
+                                                lookup.frame, t, stages)
+            self._record_write(stages)
+            return WriteResult(completion_ns=completion,
+                               latency_ns=completion - request.issue_time_ns,
+                               deduplicated=True, wrote_line=False,
+                               stages=stages)
+
+        # 4. Unique: the ciphertext is already made; write it out.
+        result = self.controller.write(frame, encrypted.ciphertext, t)
+        stages[WritePathStage.WRITE_UNIQUE] = result.latency_ns
+        t = result.completion_ns
+        self.refcounts.acquire(frame)
+        self._frame_fingerprint[frame] = fingerprint
+        self.store.insert(fingerprint, frame, t)
+        t2 = self.mapping.update(request.line_index, frame, t)
+        stages[WritePathStage.METADATA] = t2 - t
+        self._record_write(stages)
+        return WriteResult(completion_ns=t2,
+                           latency_ns=t2 - request.issue_time_ns,
+                           deduplicated=False, wrote_line=True, stages=stages)
+
+
+class PDEScheme(FullDedupScheme):
+    """Parallelism of Deduplication and Encryption.
+
+    Fingerprint (SHA-1, on the plaintext) and encryption start together on
+    *every* write.  Unique lines hide the hash latency under the (shorter)
+    encryption plus the lookup; duplicate lines throw the finished
+    encryption away.  Latency approaches Dedup_SHA1-with-hidden-hash;
+    energy pays both operations on all lines.
+    """
+
+    name = "PDE"
+    fingerprint_entry_size = 26
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        super().__init__(config, costs)
+        self.engine = SHA1Engine(costs)
+
+    def handle_write(self, request: MemoryRequest) -> WriteResult:
+        assert request.data is not None
+        self.counters.incr("writes")
+        stages: Dict[WritePathStage, float] = {}
+        t0 = request.issue_time_ns
+
+        # Fingerprint and encryption in parallel; both energies are spent
+        # unconditionally (PDE's defining property).
+        fingerprint = self.engine.fingerprint(request.data)
+        self._charge_fingerprint(0.0, self.engine.energy_nj)
+        self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
+                                  self.crypto.encrypt_energy_nj)
+        hash_done = t0 + self.engine.latency_ns
+        encrypt_done = t0 + self.crypto.encrypt_latency_ns
+
+        # The lookup needs the fingerprint, so the hash time beyond the
+        # (overlapped) encryption is exposed on the commit path.
+        lookup = self.store.lookup(fingerprint, hash_done)
+        stages[WritePathStage.FINGERPRINT_COMPUTE] = max(
+            0.0, hash_done - encrypt_done)
+        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
+            lookup.completion_ns - hash_done)
+        t = lookup.completion_ns
+
+        if lookup.found:
+            # Duplicate: the parallel encryption was wasted energy.
+            self.counters.incr("wasted_encryptions")
+            assert lookup.frame is not None
+            completion = self._commit_duplicate(request.line_index,
+                                                lookup.frame, t, stages)
+            self._record_write(stages)
+            return WriteResult(completion_ns=completion,
+                               latency_ns=completion - request.issue_time_ns,
+                               deduplicated=True, wrote_line=False,
+                               stages=stages)
+
+        # Unique: commit once both the lookup and the encryption are done.
+        t_commit = max(t, encrypt_done)
+        _frame, completion = self._commit_unique(
+            request.line_index, fingerprint, request.data, t_commit, stages,
+            pre_encrypted_completion=t_commit)
+        self._record_write(stages)
+        return WriteResult(completion_ns=completion,
+                           latency_ns=completion - request.issue_time_ns,
+                           deduplicated=False, wrote_line=True, stages=stages)

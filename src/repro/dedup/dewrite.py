@@ -1,0 +1,189 @@
+"""DeWrite: prediction-driven full deduplication with CRC fingerprints.
+
+Reproduction of the state-of-the-art comparison point (Zuo et al.,
+MICRO'18).  DeWrite performs *full* deduplication (every unique line is
+indexed, the index lives in NVMM) but attacks the hash-latency problem with
+two pipelines selected by a duplication predictor:
+
+* **Predicted duplicate (serial)** — compute the 32-bit CRC, look it up
+  (cache, then NVMM), and on a hit read the candidate frame back, decrypt,
+  and byte-compare (CRC is too weak to trust).  Correct prediction (T1)
+  eliminates the write; a mis-prediction (F2) has paid CRC + lookup +
+  compare before falling back to encrypt-and-write, all serial — the
+  paper's worst case.
+* **Predicted unique (parallel)** — CRC and encryption start together, so
+  the CRC's latency hides under the (longer) encryption (T3).  The lookup
+  still must confirm uniqueness before the write commits; when the line was
+  actually a duplicate (F4), the speculative encryption was wasted energy.
+
+Both pipelines inherit full deduplication's fingerprint NVMM_lookup cost on
+every fingerprint-cache miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import SystemConfig
+from ..common.types import MemoryRequest, WritePathStage
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..crypto.fingerprints import CRC32Engine
+from ..nvmm.energy import EnergyCategory
+from .base import WriteResult
+from .full_dedup import FullDedupScheme
+from .predictor import DuplicationPredictor
+
+
+class DeWriteScheme(FullDedupScheme):
+    """DeWrite (MICRO'18): CRC + prediction + parallel encryption."""
+
+    name = "DeWrite"
+    #: The paper quotes (16 bytes + 3 bits) of metadata per physical line.
+    fingerprint_entry_size = 17
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        super().__init__(config, costs)
+        self.engine = CRC32Engine(costs)
+        self.predictor = DuplicationPredictor(
+            entries=self.config.dewrite.predictor_entries,
+            bits=self.config.dewrite.predictor_bits)
+
+    # ------------------------------------------------------------------
+    # Write pipelines
+    # ------------------------------------------------------------------
+
+    def _write_predicted_duplicate(self, request: MemoryRequest,
+                                   stages: Dict[WritePathStage, float]
+                                   ) -> WriteResult:
+        """Serial pipeline: CRC -> lookup -> read-and-compare -> commit."""
+        assert request.data is not None
+        t = request.issue_time_ns
+
+        fingerprint = self.engine.fingerprint(request.data)
+        self._charge_fingerprint(self.engine.latency_ns, self.engine.energy_nj)
+        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.engine.latency_ns
+        t += self.engine.latency_ns
+
+        lookup = self.store.lookup(fingerprint, t)
+        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
+            lookup.completion_ns - t)
+        t = lookup.completion_ns
+
+        if lookup.found:
+            assert lookup.frame is not None
+            stored, t_read = self._read_and_decrypt(lookup.frame, t)
+            t_read += self._charge_compare()
+            stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
+            t = t_read
+            if stored == request.data:
+                # T1: correctly predicted duplicate.
+                self.predictor.update(request.line_index, True)
+                completion = self._commit_duplicate(request.line_index,
+                                                    lookup.frame, t, stages)
+                self._record_write(stages)
+                return WriteResult(
+                    completion_ns=completion,
+                    latency_ns=completion - request.issue_time_ns,
+                    deduplicated=True, wrote_line=False, stages=stages)
+            # CRC collision: same fingerprint, different bytes -> unique.
+            self.counters.incr("crc_collisions")
+
+        # F2 (or collision): everything so far was wasted; fall back to the
+        # fully serial unique path.
+        self.predictor.update(request.line_index, False)
+        _frame, completion = self._commit_unique(
+            request.line_index, fingerprint, request.data, t, stages)
+        self._record_write(stages)
+        return WriteResult(completion_ns=completion,
+                           latency_ns=completion - request.issue_time_ns,
+                           deduplicated=False, wrote_line=True, stages=stages)
+
+    def _write_predicted_unique(self, request: MemoryRequest,
+                                stages: Dict[WritePathStage, float]
+                                ) -> WriteResult:
+        """Parallel pipeline: CRC overlaps encryption; lookup gates commit."""
+        assert request.data is not None
+        t0 = request.issue_time_ns
+
+        # CRC and encryption start together.  Only the portion of the CRC
+        # that outlasts the encryption is exposed.  The speculative
+        # encryption's energy is spent regardless of the outcome.
+        fingerprint = self.engine.fingerprint(request.data)
+        self._charge_fingerprint(0.0, self.engine.energy_nj)
+        self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
+                                  self.crypto.encrypt_energy_nj)
+        crc_done = t0 + self.engine.latency_ns
+        encrypt_done = t0 + self.crypto.encrypt_latency_ns
+        exposed_crc = max(0.0, crc_done - encrypt_done)
+        if exposed_crc:
+            stages[WritePathStage.FINGERPRINT_COMPUTE] = exposed_crc
+
+        # The lookup needs the fingerprint, so it starts when the CRC ends.
+        lookup = self.store.lookup(fingerprint, crc_done)
+        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
+            lookup.completion_ns - crc_done)
+
+        if lookup.found:
+            assert lookup.frame is not None
+            t = lookup.completion_ns
+            stored, t_read = self._read_and_decrypt(lookup.frame, t)
+            t_read += self._charge_compare()
+            stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
+            if stored == request.data:
+                # F4: the line was a duplicate after all.  The speculative
+                # encryption is wasted energy (already charged); commit the
+                # dedup.
+                self.counters.incr("wasted_encryptions")
+                self.predictor.update(request.line_index, True)
+                completion = self._commit_duplicate(
+                    request.line_index, lookup.frame, t_read, stages)
+                self._record_write(stages)
+                return WriteResult(
+                    completion_ns=completion,
+                    latency_ns=completion - request.issue_time_ns,
+                    deduplicated=True, wrote_line=False, stages=stages)
+            self.counters.incr("crc_collisions")
+            t_commit = max(t_read, encrypt_done)
+        else:
+            # T3: confirmed unique; the write can commit once both the
+            # encryption and the confirming lookup are done.  Only the
+            # encryption tail that outlasts the lookup is exposed latency.
+            t_commit = max(lookup.completion_ns, encrypt_done)
+            exposed_encrypt = max(0.0, encrypt_done - lookup.completion_ns)
+            if exposed_encrypt:
+                stages[WritePathStage.ENCRYPTION] = exposed_encrypt
+
+        self.predictor.update(request.line_index, False)
+        _frame, completion = self._commit_unique(
+            request.line_index, fingerprint, request.data, t_commit, stages,
+            pre_encrypted_completion=t_commit)
+        self._record_write(stages)
+        return WriteResult(completion_ns=completion,
+                           latency_ns=completion - request.issue_time_ns,
+                           deduplicated=False, wrote_line=True, stages=stages)
+
+    def handle_write(self, request: MemoryRequest) -> WriteResult:
+        assert request.data is not None
+        self.counters.incr("writes")
+        stages: Dict[WritePathStage, float] = {}
+        if self.predictor.predict(request.line_index):
+            return self._write_predicted_duplicate(request, stages)
+        return self._write_predicted_unique(request, stages)
+
+    def metadata_footprint(self):
+        """DeWrite packs all per-line metadata into (16 bytes + 3 bits).
+
+        The paper quotes 25.59 % metadata overhead for DeWrite — a single
+        (16 B + 3 bit) record per line covering fingerprint *and* mapping
+        state, rather than the separate index + mapping tables Dedup_SHA1
+        carries.  The NVMM footprint is therefore that packed record per
+        mapped logical line.
+        """
+        from .base import MetadataFootprint
+        bits_per_entry = 16 * 8 + 3
+        entries = self.mapping.entry_count
+        nvmm = (entries * bits_per_entry + 7) // 8
+        return MetadataFootprint(
+            onchip_bytes=self.store.onchip_bytes() + self.mapping.onchip_bytes(),
+            nvmm_bytes=nvmm)

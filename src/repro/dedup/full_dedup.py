@@ -1,0 +1,146 @@
+"""Shared machinery for the full-deduplication schemes (Dedup_SHA1, DeWrite).
+
+Full deduplication tries to eliminate *every* duplicate line: each unique
+line's fingerprint is indexed in an NVMM-resident store
+(:class:`~repro.dedup.fingerprint_store.FullFingerprintStore`), and each
+logical address is remapped through a :class:`~repro.dedup.mapping.MappingTable`.
+This base class owns that plumbing — reference counting, frame recycling,
+fingerprint-entry invalidation, and the shared read path — so the concrete
+schemes only implement their distinctive write pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..common.config import SystemConfig
+from ..common.types import CACHE_LINE_SIZE, MemoryRequest, WritePathStage
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from .base import DedupScheme, MetadataFootprint, ReadResult
+from .fingerprint_store import FullFingerprintStore
+from .mapping import FrameRefcounts, MappingTable
+
+
+class FullDedupScheme(DedupScheme):
+    """Base for schemes that index every unique line's fingerprint."""
+
+    #: Bytes per fingerprint-store entry; subclasses override.
+    fingerprint_entry_size: int = 32
+    #: Bytes per mapping-table entry (8 B logical + 5 B packed physical +
+    #: refcount/flags); shared by both full-dedup schemes.
+    mapping_entry_size: int = 16
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 costs: CryptoCosts = DEFAULT_COSTS) -> None:
+        super().__init__(config, costs)
+        mc = self.config.metadata_cache
+        self.store = FullFingerprintStore(
+            cache_bytes=mc.efit_bytes,
+            entry_size=self.fingerprint_entry_size,
+            controller=self.controller,
+            probe_latency_ns=mc.probe_latency_ns)
+        self.mapping = MappingTable(
+            cache_bytes=mc.amt_bytes,
+            entry_size=self.mapping_entry_size,
+            controller=self.controller,
+            probe_latency_ns=mc.probe_latency_ns)
+        self.refcounts = FrameRefcounts(self.allocator)
+        #: frame -> fingerprint, for invalidating index entries of freed frames.
+        self._frame_fingerprint: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Commit helpers shared by the concrete write pipelines
+    # ------------------------------------------------------------------
+
+    def _release_previous(self, logical_line: int) -> None:
+        """Drop the logical line's old mapping reference, recycling frames."""
+        old_frame = self.mapping.current_frame(logical_line)
+        if old_frame is None:
+            return
+        remaining = self.refcounts.release(old_frame)
+        if remaining == 0:
+            fingerprint = self._frame_fingerprint.pop(old_frame, None)
+            if fingerprint is not None:
+                self.store.remove(fingerprint)
+
+    def _commit_duplicate(self, logical_line: int, frame: int,
+                          at_time_ns: float,
+                          stages: Dict[WritePathStage, float]) -> float:
+        """Remap the logical line onto an existing frame (dedup hit).
+
+        The new reference is acquired *before* the old mapping is released:
+        when a line rewrites the content it already points at (old frame ==
+        new frame, refcount 1), releasing first would free the frame — and
+        drop its fingerprint — mid-commit.
+        """
+        self.counters.incr("dedup_hits")
+        self.refcounts.acquire(frame)
+        self._release_previous(logical_line)
+        t = self.mapping.update(logical_line, frame, at_time_ns)
+        stages[WritePathStage.METADATA] = stages.get(
+            WritePathStage.METADATA, 0.0) + (t - at_time_ns)
+        return t
+
+    def _commit_unique(self, logical_line: int, fingerprint: int,
+                       plaintext: bytes, at_time_ns: float,
+                       stages: Dict[WritePathStage, float],
+                       *, pre_encrypted_completion: Optional[float] = None,
+                       ) -> Tuple[int, float]:
+        """Write a unique line: allocate, encrypt+write, index, remap.
+
+        Args:
+            pre_encrypted_completion: when the caller already overlapped the
+                encryption+write (DeWrite's parallel path), the completion
+                time of that work; otherwise the encryption and write are
+                performed serially here.
+
+        Returns:
+            (frame, completion_time).
+        """
+        self._release_previous(logical_line)
+        frame = self.allocator.allocate()
+        if pre_encrypted_completion is None:
+            t = self._encrypt_and_write(frame, plaintext, at_time_ns, stages)
+        else:
+            # Caller accounted encryption; issue the PCM write now.
+            enc = self.crypto.encrypt(plaintext, frame)
+            self._integrity_update(frame)
+            result = self.controller.write(frame, enc.ciphertext,
+                                           pre_encrypted_completion)
+            stages[WritePathStage.WRITE_UNIQUE] = stages.get(
+                WritePathStage.WRITE_UNIQUE, 0.0) + result.latency_ns
+            t = result.completion_ns
+        self.refcounts.acquire(frame)
+        self._frame_fingerprint[frame] = fingerprint
+        # Index insertion's NVMM write proceeds off the critical path (it
+        # occupies a bank and consumes energy, but the write's completion
+        # does not wait for it).
+        self.store.insert(fingerprint, frame, t)
+        t2 = self.mapping.update(logical_line, frame, t)
+        stages[WritePathStage.METADATA] = stages.get(
+            WritePathStage.METADATA, 0.0) + (t2 - t)
+        return frame, t2
+
+    # ------------------------------------------------------------------
+    # Shared read path
+    # ------------------------------------------------------------------
+
+    def handle_read(self, request: MemoryRequest) -> ReadResult:
+        self.counters.incr("reads")
+        frame, t, _hit = self.mapping.lookup(request.line_index,
+                                             request.issue_time_ns)
+        if frame is None:
+            return ReadResult(data=bytes(CACHE_LINE_SIZE), completion_ns=t,
+                              latency_ns=t - request.issue_time_ns)
+        plaintext, completion = self._read_and_decrypt(frame, t)
+        return ReadResult(data=plaintext, completion_ns=completion,
+                          latency_ns=completion - request.issue_time_ns)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def metadata_footprint(self) -> MetadataFootprint:
+        return MetadataFootprint(
+            onchip_bytes=self.store.onchip_bytes() + self.mapping.onchip_bytes(),
+            nvmm_bytes=self.store.nvmm_bytes() + self.mapping.nvmm_bytes())

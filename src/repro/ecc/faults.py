@@ -1,0 +1,121 @@
+"""Bit-error injection utilities for exercising the ECC substrate.
+
+These helpers flip bits in cache lines so tests and examples can demonstrate
+the detection/correction behaviour the dedup pipeline relies on: ESD's reuse
+of the ECC as a fingerprint must not compromise the code's original
+error-checking function, so we keep that function observable and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import UncorrectableError
+from ..common.types import CACHE_LINE_SIZE, validate_line
+from .codec import LineDecodeResult, decode_line, line_ecc
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Return a copy of ``data`` with one bit flipped.
+
+    Args:
+        data: a 64-byte cache line.
+        bit_index: 0-based bit position, ``0 <= bit_index < 512``.
+    """
+    validate_line(data)
+    if not 0 <= bit_index < CACHE_LINE_SIZE * 8:
+        raise ValueError(f"bit index out of range: {bit_index}")
+    buf = bytearray(data)
+    buf[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(buf)
+
+
+def flip_bits(data: bytes, bit_indices: Sequence[int]) -> bytes:
+    """Flip several distinct bit positions in a cache line."""
+    if len(set(bit_indices)) != len(bit_indices):
+        raise ValueError("bit indices must be distinct")
+    out = data
+    for idx in bit_indices:
+        out = flip_bit(out, idx)
+    return out
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of one fault-injection experiment on a protected line."""
+
+    injected_bits: Tuple[int, ...]
+    corrected: bool
+    detected_uncorrectable: bool
+    recovered: bool
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Error neither corrected nor flagged — must not occur for <=1-bit
+        faults per word, and SEC-DED guarantees detection of 2-bit faults."""
+        return bool(self.injected_bits) and not (
+            self.corrected or self.detected_uncorrectable)
+
+
+def inject_and_decode(data: bytes, bit_indices: Sequence[int]) -> FaultOutcome:
+    """Protect a line, flip ``bit_indices``, decode, and classify the result."""
+    ecc = line_ecc(data)
+    corrupted = flip_bits(data, list(bit_indices))
+    try:
+        result: LineDecodeResult = decode_line(corrupted, ecc)
+    except UncorrectableError:
+        return FaultOutcome(injected_bits=tuple(bit_indices), corrected=False,
+                            detected_uncorrectable=True, recovered=False)
+    return FaultOutcome(
+        injected_bits=tuple(bit_indices),
+        corrected=result.corrected,
+        detected_uncorrectable=False,
+        recovered=result.data == data,
+    )
+
+
+class RandomFaultInjector:
+    """Seeded random single/double-bit fault campaigns over cache lines."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def random_line(self) -> bytes:
+        return bytes(self._rng.integers(0, 256, CACHE_LINE_SIZE,
+                                        dtype=np.uint8).tobytes())
+
+    def single_bit_campaign(self, trials: int) -> List[FaultOutcome]:
+        """``trials`` independent single-bit faults on random lines."""
+        outcomes = []
+        for _ in range(trials):
+            line = self.random_line()
+            bit = int(self._rng.integers(0, CACHE_LINE_SIZE * 8))
+            outcomes.append(inject_and_decode(line, [bit]))
+        return outcomes
+
+    def double_bit_campaign(self, trials: int, *,
+                            same_word: Optional[bool] = True) -> List[FaultOutcome]:
+        """``trials`` double-bit faults.
+
+        Args:
+            same_word: when True both flips land in one 8-byte word (the
+                SEC-DED detection case); when False each flip lands in a
+                different word (each word sees a single, correctable error).
+        """
+        outcomes = []
+        for _ in range(trials):
+            line = self.random_line()
+            if same_word:
+                word = int(self._rng.integers(0, 8))
+                bits = self._rng.choice(64, size=2, replace=False) + word * 64
+            else:
+                words = self._rng.choice(8, size=2, replace=False)
+                bits = np.array([
+                    int(self._rng.integers(0, 64)) + words[0] * 64,
+                    int(self._rng.integers(0, 64)) + words[1] * 64,
+                ])
+            outcomes.append(inject_and_decode(line, [int(b) for b in bits]))
+        return outcomes

@@ -1,0 +1,76 @@
+"""Physical frame allocator for deduplicated NVMM.
+
+Deduplication decouples logical addresses from physical frames: a duplicate
+write maps its logical address onto an existing frame instead of consuming a
+new one, and when the last reference to a frame is dropped the frame returns
+to the free pool.  This allocator hands out frame (line) numbers
+sequentially, recycles freed frames LIFO, and tracks occupancy so space
+savings are measurable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..common.errors import OutOfSpaceError
+
+
+class FrameAllocator:
+    """Sequential-with-free-list allocator over ``num_frames`` frames."""
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self._num_frames = num_frames
+        self._next_fresh = 0
+        self._free: List[int] = []
+        self._allocated: Set[int] = set()
+
+    @property
+    def num_frames(self) -> int:
+        return self._num_frames
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def free_count(self) -> int:
+        return self._num_frames - len(self._allocated)
+
+    def allocate(self) -> int:
+        """Return a free frame number.
+
+        Raises:
+            OutOfSpaceError: when every frame is allocated.
+        """
+        while self._free:
+            frame = self._free.pop()
+            if frame not in self._allocated:
+                self._allocated.add(frame)
+                return frame
+        if self._next_fresh >= self._num_frames:
+            raise OutOfSpaceError(
+                f"all {self._num_frames} frames allocated")
+        frame = self._next_fresh
+        self._next_fresh += 1
+        self._allocated.add(frame)
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return a frame to the pool.
+
+        Raises:
+            ValueError: when the frame is not currently allocated.
+        """
+        if frame not in self._allocated:
+            raise ValueError(f"frame {frame} is not allocated")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        return frame in self._allocated
+
+    def utilization(self) -> float:
+        """Fraction of frames currently allocated."""
+        return len(self._allocated) / self._num_frames

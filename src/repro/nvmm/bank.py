@@ -1,0 +1,157 @@
+"""Bank-level timing model for the PCM array.
+
+PCM banks serve one access at a time.  Because the simulator processes the
+trace in program order while a request's pipeline stages carry absolute
+timestamps, a bank can be asked to serve accesses whose arrival times are
+*not* monotonic.  A naive busy-until model would let one late-scheduled
+access block every earlier-arriving access processed after it — a phantom
+backlog no real controller exhibits (controllers reorder requests across
+bank idle gaps).  Each bank therefore keeps a set of busy intervals and
+places each access at the **earliest idle gap at or after its arrival**
+(earliest-fit scheduling).
+
+Banks also carry a one-entry row buffer (NVMain-style open row): a read
+whose row matches the open row is a *row hit*, served at SRAM-like latency.
+This matters enormously for deduplication — the byte-comparison reads of a
+hot shared line (e.g. the all-zero line) all land on one row of one bank
+and would otherwise serialize at full PCM read latency.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BankService:
+    """Record of one scheduled bank access."""
+
+    bank: int
+    arrival_ns: float
+    start_ns: float
+    completion_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion latency (queueing + service)."""
+        return self.completion_ns - self.arrival_ns
+
+    @property
+    def queue_delay_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+
+class Bank:
+    """One PCM bank with earliest-fit interval scheduling and a row buffer.
+
+    Args:
+        index: bank number (for reporting).
+        prune_margin_ns: busy intervals ending this far before the latest
+            arrival seen are discarded; out-of-order arrivals deeper than
+            this margin would mis-schedule, so it must exceed the engine's
+            throttling window span (the default is generous).
+    """
+
+    def __init__(self, index: int, prune_margin_ns: float = 1_000_000.0) -> None:
+        self.index = index
+        self.prune_margin_ns = prune_margin_ns
+        # Sorted, non-overlapping, merged busy intervals as (start, end).
+        self._intervals: List[Tuple[float, float]] = []
+        self._latest_arrival = 0.0
+        self.busy_time_ns = 0.0
+        self.services = 0
+        self.open_row: Optional[Hashable] = None
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # ------------------------------------------------------------------
+    # Row buffer
+    # ------------------------------------------------------------------
+
+    def access_row(self, row: Hashable) -> bool:
+        """Open ``row``; returns True when it was already open (row hit)."""
+        if self.open_row == row:
+            self.row_hits += 1
+            return True
+        self.open_row = row
+        self.row_misses += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Earliest-fit scheduling
+    # ------------------------------------------------------------------
+
+    def service(self, arrival_ns: float, duration_ns: float) -> BankService:
+        """Schedule an access at the earliest idle gap >= its arrival."""
+        if arrival_ns < 0 or duration_ns < 0:
+            raise ValueError("times must be non-negative")
+        self._latest_arrival = max(self._latest_arrival, arrival_ns)
+        start = self._find_slot(arrival_ns, duration_ns)
+        end = start + duration_ns
+        self._insert_interval(start, end)
+        self.busy_time_ns += duration_ns
+        self.services += 1
+        self._maybe_prune()
+        return BankService(bank=self.index, arrival_ns=arrival_ns,
+                           start_ns=start, completion_ns=end)
+
+    def _find_slot(self, arrival: float, duration: float) -> float:
+        intervals = self._intervals
+        # First interval whose end is after the arrival can conflict.
+        idx = bisect_left(intervals, (arrival, float("-inf")))
+        if idx > 0 and intervals[idx - 1][1] > arrival:
+            idx -= 1
+        candidate = arrival
+        for start, end in intervals[idx:]:
+            if candidate + duration <= start:
+                break
+            candidate = max(candidate, end)
+        return candidate
+
+    def _insert_interval(self, start: float, end: float) -> None:
+        if end == start:
+            return
+        intervals = self._intervals
+        idx = bisect_left(intervals, (start, end))
+        # Merge with predecessor when contiguous.
+        if idx > 0 and intervals[idx - 1][1] == start:
+            prev_start, _ = intervals[idx - 1]
+            # Merge with successor too, when contiguous on the other side.
+            if idx < len(intervals) and intervals[idx][0] == end:
+                succ_end = intervals[idx][1]
+                intervals[idx - 1] = (prev_start, succ_end)
+                del intervals[idx]
+            else:
+                intervals[idx - 1] = (prev_start, end)
+            return
+        if idx < len(intervals) and intervals[idx][0] == end:
+            intervals[idx] = (start, intervals[idx][1])
+            return
+        intervals.insert(idx, (start, end))
+
+    def _maybe_prune(self) -> None:
+        # Drop intervals safely in the past; amortized via a size trigger.
+        if len(self._intervals) < 4096:
+            return
+        cutoff = self._latest_arrival - self.prune_margin_ns
+        idx = bisect_left(self._intervals, (cutoff, float("-inf")))
+        # Keep the interval straddling the cutoff.
+        while idx > 0 and self._intervals[idx - 1][1] > cutoff:
+            idx -= 1
+        if idx:
+            del self._intervals[:idx]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def busy_until_ns(self) -> float:
+        """End of the last scheduled interval (0 when never used)."""
+        return self._intervals[-1][1] if self._intervals else 0.0
+
+    def queue_delay(self, arrival_ns: float) -> float:
+        """Wait a hypothetical zero-length access arriving now would see."""
+        return max(0.0, self._find_slot(arrival_ns, 0.0) - arrival_ns)

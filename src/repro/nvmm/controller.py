@@ -1,0 +1,199 @@
+"""NVMM memory controller: timing, banking, and energy for PCM accesses.
+
+The controller is the single gateway through which every scheme touches the
+PCM array.  It combines:
+
+* the functional :class:`~repro.nvmm.device.PCMDevice` (contents + wear),
+* per-bank busy-until timing (:mod:`repro.nvmm.bank`) with line-interleaved
+  bank mapping,
+* energy accounting per access category,
+* a *metadata region* interface used by full-deduplication schemes whose
+  fingerprint tables live in NVMM — those fingerprint NVMM_lookup accesses
+  occupy banks and consume energy exactly like data accesses, which is how
+  the lookup bottleneck of Figure 5 materializes in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.config import PCMConfig
+from ..common.stats import Counter
+from .bank import Bank, BankService
+from .device import PCMDevice
+from .energy import EnergyAccount, EnergyCategory
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one controller access."""
+
+    service: BankService
+
+    @property
+    def completion_ns(self) -> float:
+        return self.service.completion_ns
+
+    @property
+    def latency_ns(self) -> float:
+        return self.service.latency_ns
+
+
+class MemoryController:
+    """Schedules PCM line accesses over interleaved banks.
+
+    Bank mapping is line-interleaved (``line_number % num_banks``), the
+    common choice for maximizing bank-level parallelism of streaming
+    accesses.  Metadata-region accesses hash their key onto a bank so
+    fingerprint-table traffic spreads like data traffic does.
+    """
+
+    def __init__(self, config: Optional[PCMConfig] = None,
+                 device: Optional[PCMDevice] = None) -> None:
+        self.config = config or PCMConfig()
+        self.device = device or PCMDevice(self.config)
+        if self.device.config is not self.config:
+            raise ValueError("device and controller must share one PCMConfig")
+        self.banks: List[Bank] = [Bank(index=i)
+                                  for i in range(self.config.num_banks)]
+        self.energy = EnergyAccount()
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------
+    # Bank plumbing
+    # ------------------------------------------------------------------
+
+    def bank_for_line(self, line_number: int) -> Bank:
+        return self.banks[line_number % self.config.num_banks]
+
+    def _bank_for_metadata(self, key: int) -> Bank:
+        # Spread metadata across banks; the multiplier decorrelates metadata
+        # keys from the data lines they describe.
+        return self.banks[(key * 2654435761 >> 8) % self.config.num_banks]
+
+    # ------------------------------------------------------------------
+    # Data-path accesses
+    # ------------------------------------------------------------------
+
+    def _data_row(self, line_number: int) -> Tuple[str, int]:
+        return ("data", line_number // self.config.row_size_lines)
+
+    def _metadata_row(self, key: int) -> Tuple[str, int]:
+        return ("meta", key >> 3)
+
+    def read(self, line_number: int, at_time_ns: float) -> Tuple[bytes, AccessResult]:
+        """Read one line: returns (content, timing).
+
+        A read hitting the bank's open row is served from the row buffer at
+        :attr:`PCMConfig.row_hit_read_latency_ns`.
+        """
+        bank = self.bank_for_line(line_number)
+        if bank.access_row(self._data_row(line_number)):
+            latency = self.config.row_hit_read_latency_ns
+            energy = self.config.row_hit_read_energy_nj
+        else:
+            latency = self.config.read_latency_ns
+            energy = self.config.read_energy_nj
+        service = bank.service(at_time_ns, latency)
+        data = self.device.read_line(line_number)
+        self.energy.charge(EnergyCategory.PCM_READ, energy)
+        self.counters.incr("data_reads")
+        return data, AccessResult(service=service)
+
+    def write(self, line_number: int, data: bytes,
+              at_time_ns: float) -> AccessResult:
+        """Write one line: returns timing.
+
+        PCM cell writes pay full latency/energy regardless of the row
+        buffer, but the write loads its row into the buffer.
+        """
+        bank = self.bank_for_line(line_number)
+        bank.access_row(self._data_row(line_number))
+        service = bank.service(at_time_ns, self.config.write_latency_ns)
+        self.device.write_line(line_number, data)
+        self.energy.charge(EnergyCategory.PCM_WRITE, self.config.write_energy_nj)
+        self.counters.incr("data_writes")
+        return AccessResult(service=service)
+
+    def write_partial(self, key: int, fraction: float,
+                      at_time_ns: float) -> AccessResult:
+        """Write part of a line (byte-addressable PCM).
+
+        PCM write energy scales with the bits actually programmed, while a
+        partial write still occupies the bank for a full write slot.  Used
+        by delta-dedup extensions; content is owned by the caller, so the
+        device array is not touched.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        bank = self._bank_for_metadata(key)
+        bank.access_row(self._metadata_row(key))
+        service = bank.service(at_time_ns, self.config.write_latency_ns)
+        self.energy.charge(EnergyCategory.PCM_WRITE,
+                           self.config.write_energy_nj * fraction)
+        self.counters.incr("partial_writes")
+        return AccessResult(service=service)
+
+    # ------------------------------------------------------------------
+    # Metadata-region accesses (fingerprint stores, AMT home in NVMM)
+    # ------------------------------------------------------------------
+
+    def metadata_read(self, key: int, at_time_ns: float) -> AccessResult:
+        """Timing/energy of reading one metadata line from NVMM.
+
+        Contents of metadata structures are modeled functionally by their
+        owners (fingerprint stores, AMT); the controller charges the PCM
+        read cost and occupies a bank for the duration.
+        """
+        bank = self._bank_for_metadata(key)
+        if bank.access_row(self._metadata_row(key)):
+            latency = self.config.row_hit_read_latency_ns
+            energy = self.config.row_hit_read_energy_nj
+        else:
+            latency = self.config.read_latency_ns
+            energy = self.config.read_energy_nj
+        service = bank.service(at_time_ns, latency)
+        self.energy.charge(EnergyCategory.PCM_READ, energy)
+        self.counters.incr("metadata_reads")
+        return AccessResult(service=service)
+
+    def metadata_write(self, key: int, at_time_ns: float) -> AccessResult:
+        """Timing/energy of writing one metadata line to NVMM."""
+        bank = self._bank_for_metadata(key)
+        bank.access_row(self._metadata_row(key))
+        service = bank.service(at_time_ns, self.config.write_latency_ns)
+        self.energy.charge(EnergyCategory.PCM_WRITE, self.config.write_energy_nj)
+        self.counters.incr("metadata_writes")
+        return AccessResult(service=service)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def bank_utilization(self, horizon_ns: float) -> List[float]:
+        """Per-bank busy fraction over ``[0, horizon_ns]``."""
+        if horizon_ns <= 0:
+            raise ValueError("horizon must be positive")
+        return [min(1.0, b.busy_time_ns / horizon_ns) for b in self.banks]
+
+    @property
+    def data_reads(self) -> int:
+        return self.counters.get("data_reads")
+
+    @property
+    def data_writes(self) -> int:
+        return self.counters.get("data_writes")
+
+    @property
+    def metadata_reads(self) -> int:
+        return self.counters.get("metadata_reads")
+
+    @property
+    def metadata_writes(self) -> int:
+        return self.counters.get("metadata_writes")
+
+    @property
+    def total_pcm_writes(self) -> int:
+        """All PCM write operations (data + metadata) — the endurance metric."""
+        return self.data_writes + self.metadata_writes

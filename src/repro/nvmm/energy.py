@@ -1,0 +1,58 @@
+"""Energy accounting across the simulated system.
+
+The paper's Figure 16 totals read/write energy, encryption energy, and
+deduplication-induced computation energy.  :class:`EnergyAccount` keeps one
+bucket per category so results can be reported both as totals and as
+per-category breakdowns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class EnergyCategory(enum.Enum):
+    """Where a nanojoule was spent."""
+
+    PCM_READ = "pcm_read"
+    PCM_WRITE = "pcm_write"
+    ENCRYPTION = "encryption"
+    DECRYPTION = "decryption"
+    FINGERPRINT = "fingerprint"
+    COMPARISON = "comparison"
+    METADATA = "metadata"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class EnergyAccount:
+    """Per-category energy totals in nanojoules."""
+
+    buckets: Dict[EnergyCategory, float] = field(default_factory=dict)
+
+    def charge(self, category: EnergyCategory, energy_nj: float) -> None:
+        if energy_nj < 0:
+            raise ValueError("energy must be non-negative")
+        self.buckets[category] = self.buckets.get(category, 0.0) + energy_nj
+
+    def get(self, category: EnergyCategory) -> float:
+        return self.buckets.get(category, 0.0)
+
+    def total_nj(self) -> float:
+        return sum(self.buckets.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Category-name -> nJ mapping (stable for reporting)."""
+        return {cat.value: self.buckets.get(cat, 0.0) for cat in EnergyCategory}
+
+    def merged_with(self, other: "EnergyAccount") -> "EnergyAccount":
+        out = EnergyAccount()
+        for cat in EnergyCategory:
+            total = self.get(cat) + other.get(cat)
+            if total:
+                out.buckets[cat] = total
+        return out

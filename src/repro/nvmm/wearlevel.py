@@ -1,0 +1,152 @@
+"""Start-Gap wear leveling for PCM.
+
+PCM cells endure 1e7-1e8 writes; deduplication reduces *total* writes but
+concentrates the survivors (hot unique frames absorb many reference
+updates and re-encryptions), so a production NVMM pairs dedup with wear
+leveling.  This module implements **Start-Gap** (Qureshi et al., MICRO'09),
+the canonical low-overhead algebraic scheme the endurance literature the
+paper cites builds on:
+
+* one spare *gap* frame rotates through the device;
+* every ``gap_move_interval`` writes, the line preceding the gap moves
+  into it and the gap shifts down by one;
+* after the gap completes a full revolution, every line has shifted by
+  one slot, so a logical hot spot sweeps across physical frames.
+
+Address translation is O(1) arithmetic from two registers (``start``,
+``gap``) — no table.  The remapper sits *below* the dedup scheme's frame
+numbers: callers allocate and address "intermediate" frames, and the
+remapper picks the physical slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import ConfigError
+from .device import PCMDevice, WearStats
+
+
+@dataclass(frozen=True)
+class WearLevelerConfig:
+    """Start-Gap parameters."""
+
+    #: Writes between gap movements; Qureshi et al. recommend ~100 (a 1 %
+    #: write overhead for near-perfect leveling over time).
+    gap_move_interval: int = 100
+
+    def __post_init__(self) -> None:
+        if self.gap_move_interval <= 0:
+            raise ConfigError("gap_move_interval must be positive")
+
+
+class StartGapWearLeveler:
+    """Algebraic intermediate->physical remapping over ``num_frames``.
+
+    The device exposes ``num_frames + 1`` physical slots; one is always
+    the gap.  Mapping for intermediate address ``a`` (0-based):
+
+        physical = (a + start) mod (n + 1), skipping over the gap slot --
+        concretely, addresses at or above the gap's current position shift
+        down by one.
+    """
+
+    def __init__(self, num_frames: int,
+                 config: Optional[WearLevelerConfig] = None) -> None:
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self.num_frames = num_frames
+        self.config = config or WearLevelerConfig()
+        self._slots = num_frames + 1
+        #: Rotation offset: increments once per full gap revolution.
+        self._start = 0
+        #: Current physical slot of the gap (initially the spare at the end).
+        self._gap = num_frames
+        self._writes_since_move = 0
+        #: Extra line moves performed (each is one read + one write).
+        self.gap_moves = 0
+        self.revolutions = 0
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def translate(self, intermediate: int) -> int:
+        """Map an intermediate frame number to its physical slot.
+
+        Qureshi et al.'s formulation: rotate within the ``num_frames``
+        addresses (mod N), then skip over the gap slot.  Because the
+        rotated address is < N and the gap skip adds at most 1, the result
+        always lands in [0, N] without wrapping — which keeps the map
+        injective for every (start, gap) state.
+        """
+        if not 0 <= intermediate < self.num_frames:
+            raise ValueError(
+                f"intermediate frame {intermediate} out of range "
+                f"[0, {self.num_frames})")
+        physical = (intermediate + self._start) % self.num_frames
+        if physical >= self._gap:
+            physical += 1
+        return physical
+
+    # ------------------------------------------------------------------
+    # Gap movement
+    # ------------------------------------------------------------------
+
+    def record_write(self, device: Optional[PCMDevice] = None) -> bool:
+        """Note one data write; move the gap when the interval elapses.
+
+        Args:
+            device: when provided, the displaced line's content is actually
+                copied into the old gap slot (keeping the functional view
+                exact).  Timing/energy of the move is the caller's to
+                charge via the controller if desired.
+
+        Returns:
+            True when a gap move happened.
+        """
+        self._writes_since_move += 1
+        if self._writes_since_move < self.config.gap_move_interval:
+            return False
+        self._writes_since_move = 0
+        self._move_gap(device)
+        return True
+
+    def _move_gap(self, device: Optional[PCMDevice]) -> None:
+        # The line just below the gap moves into the gap slot.
+        source = (self._gap - 1) % self._slots
+        if device is not None:
+            device.write_line(self._gap, device.read_line(source))
+        self._gap = source
+        self.gap_moves += 1
+        # The gap wraps back to the spare slot once per `slots` moves; at
+        # that point every line has shifted one slot, so the rotation
+        # register advances to keep translation consistent.
+        if self.gap_moves % self._slots == 0:
+            self._start = (self._start + 1) % self.num_frames
+            self.revolutions += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def gap_position(self) -> int:
+        return self._gap
+
+    @property
+    def start_position(self) -> int:
+        return self._start
+
+    def write_overhead(self) -> float:
+        """Extra writes per data write caused by gap movement."""
+        return 1.0 / self.config.gap_move_interval
+
+
+def leveling_effectiveness(stats: WearStats) -> float:
+    """1/wear-imbalance: 1.0 = perfectly even wear, ->0 = one hot frame."""
+    imbalance = stats.wear_imbalance
+    if imbalance <= 0:
+        return 1.0
+    return 1.0 / imbalance

@@ -1,0 +1,38 @@
+"""Simulation layer: engine, full-system wiring, runner, and metrics."""
+
+from .engine import EngineConfig, SimulationEngine
+from .export import csv_string, grid_to_dict, read_json, result_to_dict, write_csv, write_json
+from .metrics import SimulationResult, collect_extras, speedup
+from .runner import (
+    ExperimentConfig,
+    ResultGrid,
+    grid_metric,
+    iter_apps,
+    run_app,
+    run_grid,
+    scaled_system_config,
+)
+from .system import FullSystem, FullSystemStats
+
+__all__ = [
+    "EngineConfig",
+    "ExperimentConfig",
+    "FullSystem",
+    "FullSystemStats",
+    "ResultGrid",
+    "SimulationEngine",
+    "SimulationResult",
+    "collect_extras",
+    "csv_string",
+    "grid_to_dict",
+    "grid_metric",
+    "iter_apps",
+    "run_app",
+    "read_json",
+    "result_to_dict",
+    "run_grid",
+    "scaled_system_config",
+    "speedup",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,170 @@
+"""Trace-driven simulation engine.
+
+Feeds a request stream through a scheme while modeling the two coupling
+effects a naive open-loop replay misses:
+
+* **Closed-loop throttling.**  Real cores track a finite number of
+  outstanding memory requests (MSHRs, store buffers); when the memory
+  system backs up, the core stalls and the arrival stream slows down.  The
+  engine enforces a sliding window of ``max_outstanding`` requests: request
+  *i* cannot issue before request ``i - max_outstanding`` completed.
+  Without this, any scheme whose service demand transiently exceeds bank
+  bandwidth shows unbounded queue growth that no real system exhibits.
+* **Warm-up.**  The paper warms the NVMM system up before measuring; the
+  engine skips the first ``warmup_fraction`` of requests when recording
+  latency statistics (all functional state still updates).
+
+The engine also maintains the shadow copy used for continuous integrity
+verification (reads must return the bytes most recently written to that
+logical address — the invariant deduplication must never break) and drives
+the :class:`~repro.cache.cpu.CoreTimingModel` for IPC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..cache.cpu import CoreTimingModel
+from ..common.config import SystemConfig
+from ..common.errors import IntegrityError
+from ..common.stats import LatencyRecorder
+from ..common.types import MemoryRequest
+from ..dedup.base import DedupScheme
+from .metrics import SimulationResult, collect_extras
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs (orthogonal to the system configuration)."""
+
+    #: Maximum in-flight requests before arrivals are throttled.
+    max_outstanding: int = 64
+    #: Leading fraction of the trace excluded from recorded statistics.
+    warmup_fraction: float = 0.1
+    #: Cap on retained raw latency samples (reservoir beyond this).
+    max_latency_samples: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.max_latency_samples <= 0:
+            raise ValueError("max_latency_samples must be positive")
+
+
+class SimulationEngine:
+    """Drives one scheme with one request stream and collects metrics."""
+
+    def __init__(self, scheme: DedupScheme,
+                 engine_config: Optional[EngineConfig] = None) -> None:
+        self.scheme = scheme
+        self.config: SystemConfig = scheme.config
+        self.engine_config = engine_config or EngineConfig()
+        self._shadow: Dict[int, bytes] = {}
+
+    def run(self, requests: Iterable[MemoryRequest], *,
+            app: str = "unknown", total_hint: Optional[int] = None,
+            instructions_per_access: int = 200) -> SimulationResult:
+        """Process the stream; returns the collected result.
+
+        Args:
+            requests: the request stream (consumed once).
+            app: application label for the result.
+            total_hint: expected stream length, used to place the warm-up
+                boundary without materializing the stream.
+            instructions_per_access: non-memory instructions retired per
+                request, for the IPC model.
+
+        Raises:
+            IntegrityError: when ``SystemConfig.verify_integrity`` is on and
+                a read returns bytes differing from the last write to that
+                address.
+        """
+        ec = self.engine_config
+        scheme = self.scheme
+        verify = self.config.verify_integrity
+        write_rec = LatencyRecorder(ec.max_latency_samples)
+        read_rec = LatencyRecorder(ec.max_latency_samples)
+        core = CoreTimingModel(config=self.config.processor)
+        window: deque = deque()
+
+        warmup_after = 0
+        if total_hint:
+            warmup_after = int(total_hint * ec.warmup_fraction)
+
+        processed = 0
+        writes = reads = 0
+        dedup_baseline_count = scheme.counters.get("dedup_hits")
+        writes_seen_before_warmup = 0
+        dedup_at_warmup = dedup_baseline_count
+
+        for request in requests:
+            # Closed-loop throttling: delay the issue until a window slot
+            # frees up.
+            issue = request.issue_time_ns
+            if len(window) >= ec.max_outstanding:
+                oldest = window.popleft()
+                if oldest > issue:
+                    issue = oldest
+            if issue != request.issue_time_ns:
+                request = MemoryRequest(address=request.address,
+                                        access=request.access,
+                                        data=request.data,
+                                        issue_time_ns=issue,
+                                        core=request.core, seq=request.seq)
+
+            if request.is_write:
+                result = scheme.handle_write(request)
+                latency = result.latency_ns
+                completion = result.completion_ns
+                if verify:
+                    self._shadow[request.address] = request.data
+                if processed >= warmup_after:
+                    write_rec.add(latency)
+                    writes += 1
+                else:
+                    writes_seen_before_warmup += 1
+                core.memory_stall(latency, is_write=True)
+            else:
+                rresult = scheme.handle_read(request)
+                latency = rresult.latency_ns
+                completion = rresult.completion_ns
+                if verify:
+                    expected = self._shadow.get(request.address)
+                    if expected is not None and rresult.data != expected:
+                        raise IntegrityError(
+                            f"read at {request.address:#x} returned stale or "
+                            f"corrupt data under scheme {scheme.name}")
+                if processed >= warmup_after:
+                    read_rec.add(latency)
+                    reads += 1
+                core.memory_stall(latency, is_write=False)
+
+            core.retire_instructions(instructions_per_access)
+            window.append(completion)
+            processed += 1
+            if processed == warmup_after:
+                dedup_at_warmup = scheme.counters.get("dedup_hits")
+
+        controller = scheme.controller
+        return SimulationResult(
+            app=app,
+            scheme=scheme.name,
+            write_latency=write_rec,
+            read_latency=read_rec,
+            writes=writes,
+            reads=reads,
+            dedup_eliminated=scheme.counters.get("dedup_hits") - dedup_at_warmup,
+            pcm_data_writes=controller.data_writes,
+            pcm_metadata_writes=controller.metadata_writes,
+            pcm_data_reads=controller.data_reads,
+            pcm_metadata_reads=controller.metadata_reads,
+            energy_nj=scheme.total_energy().breakdown(),
+            breakdown=scheme.breakdown,
+            ipc=core.ipc,
+            metadata=scheme.metadata_footprint(),
+            extras=collect_extras(scheme),
+        )

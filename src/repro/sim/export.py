@@ -1,0 +1,129 @@
+"""Result serialization: JSON and CSV export of simulation results.
+
+Experiments that feed papers or dashboards need results that outlive the
+Python session.  These helpers flatten
+:class:`~repro.sim.metrics.SimulationResult` objects and whole result
+grids into JSON documents and CSV tables, including the latency
+percentiles and energy breakdowns the figures consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..common.types import WritePathStage
+from .metrics import SimulationResult
+from .runner import ResultGrid
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Flatten one result into a JSON-serializable dict."""
+    out: Dict = {
+        "app": result.app,
+        "scheme": result.scheme,
+        "writes": result.writes,
+        "reads": result.reads,
+        "dedup_eliminated": result.dedup_eliminated,
+        "write_reduction": result.write_reduction,
+        "pcm": {
+            "data_writes": result.pcm_data_writes,
+            "data_reads": result.pcm_data_reads,
+            "metadata_writes": result.pcm_metadata_writes,
+            "metadata_reads": result.pcm_metadata_reads,
+        },
+        "latency_ns": {
+            "write_mean": result.mean_write_latency_ns,
+            "write_p50": result.write_latency.percentile(50),
+            "write_p90": result.write_latency.percentile(90),
+            "write_p99": result.write_latency.percentile(99),
+            "write_p999": result.write_latency.percentile(99.9),
+            "write_max": result.write_latency.max_ns,
+            "read_mean": result.mean_read_latency_ns,
+            "read_p99": result.read_latency.percentile(99),
+        },
+        "energy_nj": dict(result.energy_nj),
+        "energy_total_nj": result.total_energy_nj,
+        "ipc": result.ipc,
+        "extras": dict(result.extras),
+    }
+    if result.metadata is not None:
+        out["metadata_bytes"] = {
+            "onchip": result.metadata.onchip_bytes,
+            "nvmm": result.metadata.nvmm_bytes,
+        }
+    if result.breakdown is not None:
+        out["write_path_profile"] = {
+            str(stage): share
+            for stage, share in result.breakdown.as_fractions().items()}
+    return out
+
+
+def grid_to_dict(grid: ResultGrid) -> Dict:
+    """Flatten a whole (app, scheme) grid."""
+    return {
+        "results": [result_to_dict(result) for result in grid.values()],
+    }
+
+
+def write_json(grid_or_result: Union[ResultGrid, SimulationResult],
+               path: Union[str, Path], *, indent: int = 2) -> None:
+    """Serialize a result or grid to a JSON file."""
+    if isinstance(grid_or_result, SimulationResult):
+        payload = result_to_dict(grid_or_result)
+    else:
+        payload = grid_to_dict(grid_or_result)
+    Path(path).write_text(json.dumps(payload, indent=indent, sort_keys=True)
+                          + "\n")
+
+
+#: Flat CSV columns, stable order.
+CSV_COLUMNS: List[str] = [
+    "app", "scheme", "writes", "reads", "write_reduction",
+    "pcm_data_writes", "pcm_metadata_writes",
+    "write_mean_ns", "write_p99_ns", "read_mean_ns",
+    "energy_total_nj", "ipc",
+]
+
+
+def _csv_row(result: SimulationResult) -> List:
+    return [
+        result.app, result.scheme, result.writes, result.reads,
+        f"{result.write_reduction:.6f}",
+        result.pcm_data_writes, result.pcm_metadata_writes,
+        f"{result.mean_write_latency_ns:.3f}",
+        f"{result.write_latency.percentile(99):.3f}",
+        f"{result.mean_read_latency_ns:.3f}",
+        f"{result.total_energy_nj:.3f}",
+        f"{result.ipc:.6f}",
+    ]
+
+
+def write_csv(grid: ResultGrid, path: Union[str, Path]) -> int:
+    """Write a grid as CSV; returns the number of data rows."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_COLUMNS)
+        count = 0
+        for result in grid.values():
+            writer.writerow(_csv_row(result))
+            count += 1
+    return count
+
+
+def csv_string(grid: ResultGrid) -> str:
+    """The grid's CSV as a string (for tests and quick inspection)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_COLUMNS)
+    for result in grid.values():
+        writer.writerow(_csv_row(result))
+    return buf.getvalue()
+
+
+def read_json(path: Union[str, Path]) -> Dict:
+    """Load a previously exported JSON document."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,140 @@
+"""Result containers produced by a simulation run.
+
+A :class:`SimulationResult` carries everything any figure of the paper
+needs: latency distributions (means, percentiles, CDFs), energy breakdowns,
+write-traffic reductions, IPC, metadata footprints, and scheme-internal
+rates (EFIT/AMT hit rates, predictor accuracy, Figure 5 filter splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.stats import LatencyRecorder
+from ..common.types import LatencyBreakdown, WritePathStage
+from ..dedup.base import DedupScheme, MetadataFootprint
+
+
+@dataclass
+class SimulationResult:
+    """Measured outcome of driving one scheme with one application trace."""
+
+    app: str
+    scheme: str
+    write_latency: LatencyRecorder
+    read_latency: LatencyRecorder
+    #: Writes presented to the scheme (post-warm-up).
+    writes: int = 0
+    #: Reads presented to the scheme (post-warm-up).
+    reads: int = 0
+    #: Writes the scheme eliminated via deduplication (post-warm-up).
+    dedup_eliminated: int = 0
+    #: PCM data-line writes actually performed (whole run).
+    pcm_data_writes: int = 0
+    #: PCM metadata writes (whole run).
+    pcm_metadata_writes: int = 0
+    pcm_data_reads: int = 0
+    pcm_metadata_reads: int = 0
+    #: Energy by category name, nJ (whole run).
+    energy_nj: Dict[str, float] = field(default_factory=dict)
+    #: Write-path latency profile (stage -> accumulated ns).
+    breakdown: Optional[LatencyBreakdown] = None
+    #: IPC from the core timing model.
+    ipc: float = 0.0
+    metadata: Optional[MetadataFootprint] = None
+    #: Scheme-specific rates, e.g. {"efit_hit_rate": ..., "amt_hit_rate": ...}.
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_write_latency_ns(self) -> float:
+        return self.write_latency.mean_ns
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return self.read_latency.mean_ns
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(self.energy_nj.values())
+
+    @property
+    def write_reduction(self) -> float:
+        """Fraction of presented writes eliminated by deduplication."""
+        if self.writes == 0:
+            return 0.0
+        return self.dedup_eliminated / self.writes
+
+    def breakdown_fractions(self) -> Dict[WritePathStage, float]:
+        """Figure 17's per-stage shares of total write-path latency."""
+        if self.breakdown is None:
+            return {}
+        return self.breakdown.as_fractions()
+
+    def write_cdf(self, points: int = 100) -> Tuple[List[float], List[float]]:
+        """Figure 15's write-latency CDF series."""
+        return self.write_latency.cdf(points)
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {
+            "write_latency_ns": self.mean_write_latency_ns,
+            "read_latency_ns": self.mean_read_latency_ns,
+            "write_p99_ns": self.write_latency.percentile(99),
+            "write_reduction": self.write_reduction,
+            "energy_nj": self.total_energy_nj,
+            "ipc": self.ipc,
+            "pcm_data_writes": float(self.pcm_data_writes),
+        }
+
+
+def speedup(baseline: SimulationResult, other: SimulationResult,
+            metric: str = "write") -> float:
+    """Latency ratio baseline/other (>1 means ``other`` is faster).
+
+    Matches the paper's definition: "write speedup is denoted as the write
+    latency of the Baseline scheme divided by the other schemes".
+    """
+    if metric == "write":
+        ref, val = baseline.mean_write_latency_ns, other.mean_write_latency_ns
+    elif metric == "read":
+        ref, val = baseline.mean_read_latency_ns, other.mean_read_latency_ns
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    if val == 0:
+        raise ValueError("cannot compute speedup against zero latency")
+    return ref / val
+
+
+def collect_extras(scheme: DedupScheme) -> Dict[str, float]:
+    """Harvest scheme-specific observability into a flat mapping."""
+    extras: Dict[str, float] = {}
+    efit = getattr(scheme, "efit", None)
+    if efit is not None:
+        extras["efit_hit_rate"] = efit.hit_rate
+        extras["efit_evictions"] = float(efit.evictions)
+    amt = getattr(scheme, "amt", None)
+    if amt is not None:
+        extras["amt_hit_rate"] = amt.hit_rate
+    mapping = getattr(scheme, "mapping", None)
+    if mapping is not None:
+        extras["mapping_hit_rate"] = mapping.hit_rate
+    store = getattr(scheme, "store", None)
+    if store is not None:
+        cache_hits, nvmm_hits = store.duplicate_filter_split()
+        extras["fp_cache_filtered"] = float(cache_hits)
+        extras["fp_nvmm_filtered"] = float(nvmm_hits)
+        extras["fp_nvmm_lookups"] = float(store.nvmm_lookup_ops)
+    predictor = getattr(scheme, "predictor", None)
+    if predictor is not None:
+        extras["prediction_accuracy"] = predictor.stats.accuracy
+    for counter in ("ecc_collisions", "crc_collisions", "referh_overflows",
+                    "wasted_encryptions"):
+        value = scheme.counters.get(counter)
+        if value:
+            extras[counter] = float(value)
+    return extras

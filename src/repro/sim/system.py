@@ -1,0 +1,126 @@
+"""End-to-end system: CPU accesses -> cache hierarchy -> scheme -> NVMM.
+
+The grid experiments (:mod:`repro.sim.runner`) drive schemes with post-LLC
+traffic directly, because that is the granularity the paper's statistics
+are defined at.  This module provides the *full-stack* alternative: CPU
+load/store streams filtered through the three-level hierarchy, with the
+LLC's miss fills and dirty write-backs forwarded to the dedup scheme.  It
+demonstrates the complete pipeline of Figure 6 and feeds the IPC model
+with true per-level hit latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..cache.cpu import CoreTimingModel
+from ..cache.hierarchy import CacheHierarchy, CPUAccess
+from ..common.config import SystemConfig
+from ..common.stats import LatencyRecorder
+from ..dedup.base import DedupScheme
+from .metrics import SimulationResult, collect_extras
+
+
+@dataclass
+class FullSystemStats:
+    """Cache-level summary of one full-stack run."""
+
+    l1_hit_rate: float
+    l2_hit_rate: float
+    l3_hit_rate: float
+    fills_from_memory: int
+    writebacks_to_memory: int
+
+
+class FullSystem:
+    """A complete simulated machine around one dedup scheme."""
+
+    def __init__(self, scheme: DedupScheme,
+                 config: Optional[SystemConfig] = None) -> None:
+        self.scheme = scheme
+        self.config = config or scheme.config
+        self.hierarchy = CacheHierarchy(self.config.processor)
+        self.core = CoreTimingModel(config=self.config.processor)
+        self.write_latency = LatencyRecorder()
+        self.read_latency = LatencyRecorder()
+        self._clock_ns = 0.0
+
+    def run(self, accesses: Iterable[CPUAccess], *,
+            app: str = "unknown",
+            instructions_per_access: int = 200,
+            mean_gap_ns: float = 2.0) -> SimulationResult:
+        """Drive CPU accesses through the full stack.
+
+        Args:
+            accesses: CPU-side load/store stream.
+            app: label for the result.
+            instructions_per_access: instruction gap per CPU access.
+            mean_gap_ns: simulated time between CPU accesses (cache hits
+                advance the clock by cache latency; this adds issue spacing).
+        """
+        cycle_ns = self.config.processor.cycle_ns
+        for access in accesses:
+            self._clock_ns += mean_gap_ns
+            event = self.hierarchy.access(access)
+            cache_ns = event.latency_cycles * cycle_ns
+            self.core.retire_instructions(instructions_per_access)
+
+            if event.fill is not None:
+                fill = event.fill
+                fill.issue_time_ns = self._clock_ns + cache_ns
+                result = self.scheme.handle_read(fill)
+                self.read_latency.add(result.latency_ns)
+                self.core.memory_stall(cache_ns + result.latency_ns,
+                                       is_write=False)
+                self._clock_ns = max(self._clock_ns, result.completion_ns
+                                     - mean_gap_ns)
+                # Install the fetched content so future evictions carry it.
+                self.hierarchy.l3.fill(fill.address, result.data)
+            else:
+                self.core.memory_stall(cache_ns, is_write=access.write)
+
+            for wb in event.writebacks:
+                wb.issue_time_ns = self._clock_ns + cache_ns
+                wresult = self.scheme.handle_write(wb)
+                self.write_latency.add(wresult.latency_ns)
+                self.core.memory_stall(wresult.latency_ns, is_write=True)
+
+        return self._result(app)
+
+    def drain(self) -> int:
+        """Flush all dirty cache lines to the scheme; returns count."""
+        drained = self.hierarchy.drain()
+        for wb in drained:
+            wb.issue_time_ns = self._clock_ns
+            result = self.scheme.handle_write(wb)
+            self.write_latency.add(result.latency_ns)
+        return len(drained)
+
+    def cache_stats(self) -> FullSystemStats:
+        l1, l2, l3 = self.hierarchy.stats.hit_rates()
+        return FullSystemStats(
+            l1_hit_rate=l1, l2_hit_rate=l2, l3_hit_rate=l3,
+            fills_from_memory=self.hierarchy.stats.fills_from_memory,
+            writebacks_to_memory=self.hierarchy.stats.writebacks_to_memory)
+
+    def _result(self, app: str) -> SimulationResult:
+        controller = self.scheme.controller
+        return SimulationResult(
+            app=app,
+            scheme=self.scheme.name,
+            write_latency=self.write_latency,
+            read_latency=self.read_latency,
+            writes=self.write_latency.count,
+            reads=self.read_latency.count,
+            dedup_eliminated=self.scheme.counters.get("dedup_hits"),
+            pcm_data_writes=controller.data_writes,
+            pcm_metadata_writes=controller.metadata_writes,
+            pcm_data_reads=controller.data_reads,
+            pcm_metadata_reads=controller.metadata_reads,
+            energy_nj=self.scheme.total_energy().breakdown(),
+            breakdown=self.scheme.breakdown,
+            ipc=self.core.ipc,
+            metadata=self.scheme.metadata_footprint(),
+            extras=collect_extras(self.scheme),
+        )

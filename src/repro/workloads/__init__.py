@@ -1,0 +1,63 @@
+"""Workload substrate: application profiles, trace generation, analysis."""
+
+from .analysis import (
+    BUCKETS,
+    DuplicateStats,
+    ReferenceDistribution,
+    bucket_for_count,
+    content_locality_headline,
+    duplicate_rate,
+    duplicate_stats,
+    reference_count_distribution,
+)
+from .generator import CPUAccessGenerator, TraceGenerator, ZipfSampler
+from .mixes import CANONICAL_MIXES, MixedTraceGenerator, MixSpec, make_mix
+from .phases import CANONICAL_PHASES, Phase, PhasedTraceGenerator
+from .profiles import (
+    ALL_PROFILES,
+    PARSEC_PROFILES,
+    PROFILES,
+    SPEC_PROFILES,
+    TAIL_LATENCY_APPS,
+    WORST_CASE_APPS,
+    WorkloadProfile,
+    app_names,
+    get_profile,
+    mean_duplicate_rate,
+)
+from .trace import read_trace, read_trace_list, roundtrip_bytes, write_trace
+
+__all__ = [
+    "ALL_PROFILES",
+    "BUCKETS",
+    "CANONICAL_MIXES",
+    "CANONICAL_PHASES",
+    "CPUAccessGenerator",
+    "DuplicateStats",
+    "MixSpec",
+    "MixedTraceGenerator",
+    "Phase",
+    "PhasedTraceGenerator",
+    "PARSEC_PROFILES",
+    "PROFILES",
+    "ReferenceDistribution",
+    "SPEC_PROFILES",
+    "TAIL_LATENCY_APPS",
+    "TraceGenerator",
+    "WORST_CASE_APPS",
+    "WorkloadProfile",
+    "ZipfSampler",
+    "app_names",
+    "bucket_for_count",
+    "content_locality_headline",
+    "duplicate_rate",
+    "duplicate_stats",
+    "get_profile",
+    "make_mix",
+    "mean_duplicate_rate",
+    "read_trace",
+    "read_trace_list",
+    "reference_count_distribution",
+    "roundtrip_bytes",
+    "write_trace",
+]

@@ -1,0 +1,93 @@
+"""Phased workloads: applications whose duplicate behaviour shifts mid-run.
+
+Real programs move through phases (initialization zero-fills, compute
+loops, output flushes) with very different duplicate rates.  Phase changes
+are the stress case for the *adaptive* parts of the schemes: DeWrite's
+predictor must re-train, and ESD's LRCU decay must flush stale hot
+fingerprints.  A :class:`PhasedTraceGenerator` concatenates per-phase
+streams (each driven by a normal profile) on a single monotonic clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from ..common.types import MemoryRequest
+from .generator import TraceGenerator
+from .profiles import get_profile
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One workload phase: a profile and how many requests it runs for."""
+
+    app: str
+    requests: int
+
+    def __post_init__(self) -> None:
+        get_profile(self.app)  # validate
+        if self.requests <= 0:
+            raise ValueError("phase length must be positive")
+
+
+#: Canonical phase scripts: a zero-heavy init phase, a low-duplication
+#: compute phase, and a duplicate-heavy output phase.
+CANONICAL_PHASES: Tuple[Phase, ...] = (
+    Phase(app="deepsjeng", requests=4_000),   # init: ~100% dup (zeros)
+    Phase(app="namd", requests=4_000),        # compute: ~33% dup
+    Phase(app="lbm", requests=4_000),         # output: ~85% dup, bursty
+)
+
+
+class PhasedTraceGenerator:
+    """Concatenates per-phase streams on one monotonic clock.
+
+    All phases share one logical address space (later phases overwrite
+    earlier phases' lines, exercising remap/GC across behaviour shifts).
+    """
+
+    def __init__(self, phases: Sequence[Union[Phase, Tuple[str, int]]],
+                 seed: int = 2023) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        normalized: List[Phase] = []
+        for phase in phases:
+            if isinstance(phase, Phase):
+                normalized.append(phase)
+            else:
+                app, requests = phase
+                normalized.append(Phase(app=app, requests=requests))
+        self.phases = tuple(normalized)
+        self.seed = seed
+
+    @property
+    def total_requests(self) -> int:
+        return sum(p.requests for p in self.phases)
+
+    def generate(self) -> Iterator[MemoryRequest]:
+        """Yield every phase's requests with a continuous clock and seq."""
+        clock_offset = 0.0
+        seq = 0
+        for index, phase in enumerate(self.phases):
+            gen = TraceGenerator(phase.app, seed=self.seed * 17 + index)
+            last_time = clock_offset
+            for request in gen.generate(phase.requests):
+                seq += 1
+                last_time = clock_offset + request.issue_time_ns
+                yield MemoryRequest(address=request.address,
+                                    access=request.access,
+                                    data=request.data,
+                                    issue_time_ns=last_time,
+                                    core=request.core, seq=seq)
+            clock_offset = last_time
+
+    def generate_list(self) -> List[MemoryRequest]:
+        return list(self.generate())
+
+    def phase_boundaries(self) -> List[int]:
+        """Request indices where a new phase begins (first phase at 0)."""
+        bounds = [0]
+        for phase in self.phases[:-1]:
+            bounds.append(bounds[-1] + phase.requests)
+        return bounds

@@ -1,0 +1,110 @@
+"""Trace record serialization.
+
+Traces can be generated on the fly (the common path), but persisting them
+lets experiments replay byte-identical request streams across schemes and
+sessions — the artifact-appendix workflow of the paper ("users can generate
+other corresponding traces ... kept in the same regulation format").
+
+Format (version 1), little-endian:
+
+============  =======================================================
+Header        magic ``b"ESDTRACE"``, u16 version, u16 reserved,
+              u64 record count
+Record        u8 kind (0=read, 1=write), u8 core, u16 reserved,
+              u32 seq, u64 address, f64 issue_time_ns,
+              64-byte payload (writes only)
+============  =======================================================
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from ..common.errors import TraceFormatError
+from ..common.types import CACHE_LINE_SIZE, AccessType, MemoryRequest
+
+MAGIC = b"ESDTRACE"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sHHQ")
+_RECORD_FIXED = struct.Struct("<BBHIQd")
+
+
+def write_trace(requests: Iterable[MemoryRequest],
+                destination: Union[str, Path, BinaryIO]) -> int:
+    """Serialize a request stream; returns the record count written."""
+    own = isinstance(destination, (str, Path))
+    fh: BinaryIO = open(destination, "wb") if own else destination  # type: ignore[arg-type]
+    try:
+        # Leave room for the header; patch the count afterwards.
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0, 0))
+        count = 0
+        for req in requests:
+            kind = 1 if req.is_write else 0
+            fh.write(_RECORD_FIXED.pack(kind, req.core, 0, req.seq,
+                                        req.address, req.issue_time_ns))
+            if req.is_write:
+                assert req.data is not None
+                fh.write(req.data)
+            count += 1
+        fh.seek(0)
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0, count))
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def read_trace(source: Union[str, Path, BinaryIO]) -> Iterator[MemoryRequest]:
+    """Deserialize a trace, yielding requests in order.
+
+    Raises:
+        TraceFormatError: on bad magic, version, or truncated records.
+    """
+    own = isinstance(source, (str, Path))
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[arg-type]
+    try:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("truncated header")
+        magic, version, _, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported version {version}")
+        for i in range(count):
+            fixed = fh.read(_RECORD_FIXED.size)
+            if len(fixed) != _RECORD_FIXED.size:
+                raise TraceFormatError(f"truncated record {i}")
+            kind, core, _, seq, address, issue = _RECORD_FIXED.unpack(fixed)
+            if kind == 1:
+                payload = fh.read(CACHE_LINE_SIZE)
+                if len(payload) != CACHE_LINE_SIZE:
+                    raise TraceFormatError(f"truncated payload in record {i}")
+                yield MemoryRequest(address=address, access=AccessType.WRITE,
+                                    data=payload, issue_time_ns=issue,
+                                    core=core, seq=seq)
+            elif kind == 0:
+                yield MemoryRequest(address=address, access=AccessType.READ,
+                                    issue_time_ns=issue, core=core, seq=seq)
+            else:
+                raise TraceFormatError(f"unknown record kind {kind}")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_trace_list(source: Union[str, Path, BinaryIO]) -> List[MemoryRequest]:
+    """Deserialize a whole trace into a list."""
+    return list(read_trace(source))
+
+
+def roundtrip_bytes(requests: List[MemoryRequest]) -> List[MemoryRequest]:
+    """Serialize to memory and read back (testing helper)."""
+    buf = io.BytesIO()
+    write_trace(requests, buf)
+    buf.seek(0)
+    return read_trace_list(buf)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.common import small_test_config
+from repro.workloads import TraceGenerator
+
+
+@pytest.fixture
+def config():
+    """A scaled-down system configuration for fast tests."""
+    return small_test_config()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def random_line(rng):
+    """One random 64-byte cache line."""
+    return rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture
+def small_trace():
+    """A short gcc trace shared by scheme tests."""
+    return TraceGenerator("gcc", seed=7).generate_list(3_000)
+
+
+@pytest.fixture
+def write_heavy_trace():
+    """A short, duplicate-rich trace (lbm profile)."""
+    return TraceGenerator("lbm", seed=7).generate_list(3_000)

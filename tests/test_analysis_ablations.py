@@ -1,0 +1,70 @@
+"""Tests for the ablation sweeps."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    ablate_bank_count,
+    ablate_comparison_read,
+    ablate_lrcu_decay,
+    ablate_predictor,
+    ablate_referh_width,
+    ablate_row_buffer,
+)
+
+REQUESTS = 4_000
+
+
+class TestLRCUDecay:
+    def test_sweep_shape(self):
+        rows, headers = ablate_lrcu_decay(requests=REQUESTS,
+                                          periods=(0, 1024, 8192))
+        assert headers[0] == "decay_period"
+        assert len(rows) == 3
+        assert rows[0][0] == "off"
+        for row in rows:
+            assert 0.0 <= row[1] <= 1.0   # hit rate
+            assert 0.0 <= row[2] <= 1.0   # reduction
+
+
+class TestReferHWidth:
+    def test_tighter_budget_more_overflows(self):
+        rows, _ = ablate_referh_width(requests=REQUESTS, maxima=(3, 255))
+        overflows = {row[0]: row[1:] for row in rows}
+        assert overflows[3][1] >= overflows[255][1]  # overflow counts
+        # A 1-byte budget loses no meaningful reduction vs 255.
+        assert overflows[255][0] >= overflows[3][0] - 0.02
+
+
+class TestPredictor:
+    def test_bigger_table_not_less_accurate(self):
+        rows, _ = ablate_predictor(requests=REQUESTS, entries=(16, 4096))
+        small, large = rows[0], rows[1]
+        assert large[1] >= small[1] - 0.05  # accuracy
+
+
+class TestBankCount:
+    def test_fewer_banks_more_queueing(self):
+        rows, _ = ablate_bank_count(requests=REQUESTS, banks=(2, 16))
+        few, many = rows[0], rows[1]
+        assert few[1] > many[1]  # baseline latency falls with banks
+
+    def test_esd_speedup_positive_everywhere(self):
+        rows, _ = ablate_bank_count(requests=REQUESTS, banks=(4, 16))
+        for row in rows:
+            assert row[3] > 1.0
+
+
+class TestRowBuffer:
+    def test_slower_row_hits_slower_writes(self):
+        rows, _ = ablate_row_buffer(requests=REQUESTS,
+                                    hit_latencies=(15.0, 75.0))
+        fast, slow = rows[0], rows[1]
+        assert slow[1] >= fast[1]  # ESD write latency
+
+
+class TestComparisonRead:
+    def test_verification_costs_latency_not_reduction(self):
+        rows, _ = ablate_comparison_read(requests=REQUESTS)
+        verified, trusting = rows[0], rows[1]
+        assert verified[1] >= trusting[1]           # latency price
+        assert verified[2] == pytest.approx(trusting[2], abs=0.01)

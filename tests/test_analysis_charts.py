@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, cdf_plot, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"ESD": 1.5, "Baseline": 1.0}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "ESD" in lines[0]
+        assert "1.50" in lines[0]
+        # ESD's bar (max) fills the width.
+        assert "#" * 10 in lines[0]
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_reference_marker(self):
+        out = bar_chart({"x": 0.5, "y": 2.0}, width=20, reference=1.0)
+        assert "|" in out or "+" in out
+
+    def test_proportionality(self):
+        out = bar_chart({"half": 0.5, "full": 1.0}, width=20)
+        lines = {line.split()[0]: line for line in out.splitlines()}
+        assert lines["half"].count("#") * 2 == lines["full"].count("#")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(empty chart)"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0})
+        assert "#" not in out
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        out = grouped_bar_chart({
+            "gcc": {"ESD": 1.3, "Baseline": 1.0},
+            "lbm": {"ESD": 1.9, "Baseline": 1.0},
+        }, title="Speedups")
+        assert "gcc:" in out
+        assert "lbm:" in out
+        assert out.splitlines()[0] == "Speedups"
+
+
+class TestCDFPlot:
+    def test_renders_overlay(self):
+        xs = [0.0, 100.0, 200.0, 400.0]
+        out = cdf_plot({
+            "ESD": (xs, [0.2, 0.6, 0.9, 1.0]),
+            "SHA1": (xs, [0.05, 0.2, 0.5, 1.0]),
+        }, title="CDF", width=30, height=8)
+        assert "CDF" in out
+        assert "*=ESD" in out
+        assert "o=SHA1" in out
+        assert "*" in out and "o" in out
+
+    def test_empty(self):
+        assert cdf_plot({}) == "(empty plot)"
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            cdf_plot({"a": ([1.0], [1.0])}, width=1)

@@ -1,0 +1,203 @@
+"""Tests for the per-figure experiment functions.
+
+These run miniature versions of each experiment (few apps, short traces)
+and assert the paper's qualitative shapes, not absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    DEDUP_SCHEMES,
+    fig1_duplicate_rate,
+    fig2_worst_case,
+    fig3_content_locality,
+    fig5_lookup_overhead,
+    fig8_collisions,
+    fig11_write_reduction,
+    fig12_write_speedup,
+    fig13_read_speedup,
+    fig14_ipc,
+    fig15_tail_latency,
+    fig16_energy,
+    fig17_latency_profile,
+    fig18_cache_sensitivity,
+    fig19_metadata_overhead,
+    run_evaluation_grid,
+    table1_configuration,
+)
+from repro.common.types import WritePathStage
+from repro.common.units import kib
+from repro.sim.runner import scaled_system_config
+
+APPS = ["gcc", "deepsjeng", "lbm", "namd"]
+REQUESTS = 6_000
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One shared mini evaluation grid for the grid-consuming figures."""
+    return run_evaluation_grid(APPS, requests=REQUESTS)
+
+
+class TestFig1:
+    def test_rates_in_paper_range(self):
+        result = fig1_duplicate_rate(apps=APPS, requests=4_000)
+        assert set(result.rates) == set(APPS)
+        assert result.rates["deepsjeng"] > 0.95
+        assert result.rates["namd"] < 0.45
+        assert "average" in result.render()
+
+
+class TestFig2:
+    def test_full_dedup_degrades_worst_case(self):
+        result = fig2_worst_case(requests=12_000)
+        for app in ("leela", "lbm"):
+            per = result.normalized_ipc[app]
+            assert per["Baseline"] == pytest.approx(1.0)
+            # ESD never collapses and always beats full dedup.
+            assert per["ESD"] > per["Dedup_SHA1"]
+            assert per["ESD"] > 0.95
+        # leela is the paper's canonical degradation case: full dedup falls
+        # well below Baseline.
+        leela = result.normalized_ipc["leela"]
+        assert leela["Dedup_SHA1"] < 0.8
+        assert leela["DeWrite"] < 0.8
+
+
+class TestFig3:
+    def test_bucket_shares_valid(self):
+        result = fig3_content_locality(apps=APPS, requests=4_000)
+        assert sum(result.unique_shares.values()) == pytest.approx(1.0)
+        assert sum(result.volume_shares.values()) == pytest.approx(1.0)
+        # Content locality: high-reference buckets carry far more volume
+        # than their unique-line population, while the num1 bucket is the
+        # reverse (many lines, little volume).
+        u, v = result.headline
+        assert v > u
+        assert result.volume_shares["num1"] < result.unique_shares["num1"]
+
+
+class TestFig5:
+    def test_split_and_overhead(self):
+        # 10k requests: enough for live unique contents to exceed the
+        # scaled fingerprint cache, so NVMM-resolved duplicates appear.
+        result = fig5_lookup_overhead(apps=["gcc", "lbm"], requests=10_000)
+        cache_avg, nvmm_avg, lookup_avg = result.averages()
+        assert cache_avg + nvmm_avg == pytest.approx(1.0)
+        assert nvmm_avg > 0.0        # some dups only found via NVMM
+        assert 0.0 < lookup_avg < 1.0
+
+
+class TestFig8:
+    def test_crc_collides_others_do_not(self):
+        result = fig8_collisions(num_lines=30_000)
+        assert result.rows["crc32"][1] >= 0
+        assert result.rows["ecc"][1] == 0
+        assert result.rows["sha1"][1] == 0
+        # Analytic normalization: ECC is 2^32 stronger than CRC32.
+        crc_prob = result.rows["crc32"][2]
+        ecc_prob = result.rows["ecc"][2]
+        assert crc_prob / ecc_prob == pytest.approx(2.0 ** 32)
+
+
+class TestGridFigures:
+    def test_fig11_reductions(self, grid):
+        result = fig11_write_reduction(grid)
+        # Full dedup eliminates at least as much as selective ESD.
+        for app in APPS:
+            per = result.reductions[app]
+            assert per["Dedup_SHA1"] >= per["ESD"] - 0.02
+        assert result.mean_reduction("ESD") > 0.3
+
+    def test_fig12_esd_fastest_writes(self, grid):
+        result = fig12_write_speedup(grid)
+        assert result.geomean("ESD") > result.geomean("Dedup_SHA1")
+        assert result.geomean("ESD") > 1.0
+
+    def test_fig13_reads(self, grid):
+        result = fig13_read_speedup(grid)
+        assert result.geomean("ESD") > result.geomean("Dedup_SHA1")
+
+    def test_fig14_ipc(self, grid):
+        result = fig14_ipc(grid)
+        assert result.geomean("ESD") > 1.0
+        assert result.geomean("ESD") > result.geomean("Dedup_SHA1")
+
+    def test_fig15_tails(self, grid):
+        result = fig15_tail_latency(apps=APPS, grid=grid)
+        for app in APPS:
+            assert result.p99[app]["ESD"] <= result.p99[app]["Dedup_SHA1"]
+            xs, ys = result.cdfs[app]["ESD"]
+            assert ys == sorted(ys)
+
+    def test_fig16_energy_ordering(self, grid):
+        result = fig16_energy(grid)
+        # ESD always consumes the least energy.
+        for app in APPS:
+            per = result.normalized[app]
+            assert per["ESD"] <= per["DeWrite"] + 1e-9
+            assert per["ESD"] < 1.0
+
+    def test_fig17_profile_shapes(self, grid):
+        result = fig17_latency_profile(grid)
+        sha1 = result.profiles["Dedup_SHA1"]
+        esd = result.profiles["ESD"]
+        # SHA1: fingerprint compute dominates.
+        assert sha1[WritePathStage.FINGERPRINT_COMPUTE] > 0.4
+        # ESD: zero compute, zero NVMM lookup.
+        assert WritePathStage.FINGERPRINT_COMPUTE not in esd
+        assert WritePathStage.FINGERPRINT_NVMM_LOOKUP not in esd
+        for shares in result.profiles.values():
+            if shares:
+                assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_fig19_metadata_ordering(self, grid):
+        result = fig19_metadata_overhead(grid=grid, app="gcc")
+        assert result.normalized["Dedup_SHA1"] == pytest.approx(1.0)
+        assert result.normalized["ESD"] < result.normalized["DeWrite"]
+        assert result.normalized["ESD"] < 0.5
+
+
+class TestFig18:
+    def test_hit_rate_increases_with_size(self):
+        result = fig18_cache_sensitivity(
+            app="gcc", requests=4_000,
+            efit_sizes=[kib(2), kib(8), kib(32)],
+            amt_sizes=[kib(8), kib(64)])
+        lrcu_rates = [r for _, r, _ in result.efit_series]
+        assert lrcu_rates == sorted(lrcu_rates)
+        amt_rates = [r for _, r in result.amt_series]
+        assert amt_rates[-1] >= amt_rates[0]
+
+    def test_lrcu_beats_plain_lru_when_pressured(self):
+        result = fig18_cache_sensitivity(
+            app="gcc", requests=4_000,
+            efit_sizes=[kib(2)], amt_sizes=[kib(64)])
+        _, with_lrcu, without_lrcu = result.efit_series[0]
+        assert with_lrcu >= without_lrcu - 0.02
+
+
+class TestTable1:
+    def test_render_contains_paper_values(self):
+        out = table1_configuration().render()
+        assert "8 cores" in out
+        assert "read 75 ns / write 150 ns" in out
+        assert "read 1.49 nJ / write 6.75 nJ" in out
+        assert "EFIT 512 KB" in out
+
+
+class TestRenderers:
+    """Every result object must render to a non-empty table."""
+
+    def test_all_renders(self, grid):
+        outputs = [
+            fig11_write_reduction(grid).render(),
+            fig12_write_speedup(grid).render(),
+            fig13_read_speedup(grid).render(),
+            fig14_ipc(grid).render(),
+            fig16_energy(grid).render(),
+            fig17_latency_profile(grid).render(),
+            fig19_metadata_overhead(grid=grid, app="gcc").render(),
+        ]
+        for out in outputs:
+            assert isinstance(out, str) and len(out) > 40

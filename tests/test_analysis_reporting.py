@@ -1,0 +1,77 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, normalized_map
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert "1.500" in out
+
+    def test_title(self):
+        out = format_table(["x"], [["y"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in out
+
+    def test_int_and_str_cells(self):
+        out = format_table(["a", "b"], [[42, "hello"]])
+        assert "42" in out and "hello" in out
+
+
+class TestFormatSeries:
+    def test_renders_points(self):
+        out = format_series("cdf", [1.0, 2.0, 3.0], [0.1, 0.5, 1.0])
+        assert "(1, 0.10)" in out
+        assert "(3, 1.00)" in out
+
+    def test_downsamples(self):
+        xs = list(range(100))
+        ys = [x / 100 for x in xs]
+        out = format_series("s", xs, ys, max_points=5)
+        assert out.count("(") <= 7
+
+    def test_includes_last_point(self):
+        xs = list(range(100))
+        ys = [x / 99 for x in xs]
+        out = format_series("s", xs, ys, max_points=5)
+        assert "(99, 1.00)" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1.0], [])
+
+
+class TestNormalizedMap:
+    def test_direct(self):
+        out = normalized_map({"a": 10.0, "b": 5.0}, "a")
+        assert out == {"a": 1.0, "b": 0.5}
+
+    def test_inverted_for_speedups(self):
+        out = normalized_map({"base": 100.0, "fast": 50.0}, "base",
+                             invert=True)
+        assert out["fast"] == 2.0
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalized_map({"a": 0.0}, "a")

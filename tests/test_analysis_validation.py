@@ -1,0 +1,53 @@
+"""Tests for the reproduction self-check."""
+
+import pytest
+
+from repro.analysis.validation import (
+    Claim,
+    ClaimResult,
+    build_claims,
+    render_validation,
+    validate,
+)
+
+
+class TestClaimSuite:
+    def test_claims_cover_headline_figures(self):
+        ids = {c.claim_id for c in build_claims()}
+        assert {"fig1", "fig2", "fig12", "fig15", "fig16", "fig17",
+                "fig19"} <= ids
+
+    @pytest.mark.slow
+    def test_all_claims_pass(self):
+        results = validate(requests=5_000)
+        failed = [r for r in results if not r.passed]
+        assert not failed, f"failed claims: {failed}"
+
+    def test_validate_never_raises(self):
+        # A broken claim must be reported, not raised.
+        def explode():
+            raise RuntimeError("boom")
+        claim = Claim("x", "exploding claim", explode)
+        from repro.analysis import validation
+        results = []
+        try:
+            passed = bool(claim.check())
+            results.append(ClaimResult(claim.claim_id, claim.description,
+                                       passed))
+        except Exception as exc:
+            results.append(ClaimResult(claim.claim_id, claim.description,
+                                       False, error=repr(exc)))
+        assert not results[0].passed
+        assert "boom" in results[0].error
+
+
+class TestRendering:
+    def test_render(self):
+        results = [
+            ClaimResult("fig1", "something", True),
+            ClaimResult("fig2", "something else", False, error="oops"),
+        ]
+        out = render_validation(results)
+        assert "PASS" in out
+        assert "FAIL" in out
+        assert "1/2 claims hold" in out

@@ -1,0 +1,78 @@
+"""Tests for the in-order core timing / IPC model."""
+
+import pytest
+
+from repro.cache.cpu import CoreTimingModel, relative_ipc
+from repro.common.config import ProcessorConfig
+
+
+class TestCoreTimingModel:
+    def test_pure_compute_ipc_is_one(self):
+        core = CoreTimingModel()
+        core.retire_instructions(1000)
+        assert core.ipc == pytest.approx(1.0)
+
+    def test_memory_stalls_lower_ipc(self):
+        core = CoreTimingModel()
+        core.retire_instructions(1000)
+        core.memory_stall(500.0, is_write=False)  # 1000 cycles at 2 GHz
+        assert core.ipc == pytest.approx(1000 / 2000)
+
+    def test_write_stall_fraction_applies(self):
+        core = CoreTimingModel(write_stall_fraction=0.5)
+        core.retire_instructions(100)
+        core.memory_stall(100.0, is_write=True)  # 200 cycles * 0.5 = 100
+        assert core.total_cycles == pytest.approx(200)
+
+    def test_reads_stall_fully(self):
+        core = CoreTimingModel(write_stall_fraction=0.0)
+        core.retire_instructions(100)
+        core.memory_stall(100.0, is_write=False)
+        assert core.stall_cycles == pytest.approx(200)
+
+    def test_clock_scaling(self):
+        fast = CoreTimingModel(config=ProcessorConfig(clock_ghz=4.0))
+        fast.memory_stall(100.0, is_write=False)
+        assert fast.stall_cycles == pytest.approx(400)
+
+    def test_empty_ipc_zero(self):
+        assert CoreTimingModel().ipc == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(write_stall_fraction=1.5)
+        core = CoreTimingModel()
+        with pytest.raises(ValueError):
+            core.retire_instructions(-1)
+        with pytest.raises(ValueError):
+            core.memory_stall(-1.0, is_write=False)
+
+    def test_merged_with(self):
+        a = CoreTimingModel()
+        a.retire_instructions(100)
+        a.memory_stall(50.0, is_write=False)
+        b = CoreTimingModel()
+        b.retire_instructions(200)
+        merged = a.merged_with(b)
+        assert merged.instructions == 300
+        assert merged.stall_cycles == a.stall_cycles
+
+
+class TestRelativeIPC:
+    def test_faster_memory_higher_ipc(self):
+        base = CoreTimingModel()
+        base.retire_instructions(1000)
+        base.memory_stall(1000.0, is_write=False)
+        fast = CoreTimingModel()
+        fast.retire_instructions(1000)
+        fast.memory_stall(100.0, is_write=False)
+        assert relative_ipc(base, fast) > 1.0
+
+    def test_identical_is_one(self):
+        a = CoreTimingModel()
+        a.retire_instructions(10)
+        assert relative_ipc(a, a) == pytest.approx(1.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_ipc(CoreTimingModel(), CoreTimingModel())

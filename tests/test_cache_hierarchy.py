@@ -1,0 +1,118 @@
+"""Tests for the three-level cache hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheLevelConfig, ProcessorConfig
+from repro.common.types import AccessType
+from repro.cache.hierarchy import CacheHierarchy, CPUAccess
+
+
+def tiny_processor():
+    """A miniature hierarchy so evictions happen quickly."""
+    return ProcessorConfig(
+        cores=2,
+        l1=CacheLevelConfig(name="L1", capacity_bytes=4 * 64,
+                            associativity=2, latency_cycles=2),
+        l2=CacheLevelConfig(name="L2", capacity_bytes=8 * 64,
+                            associativity=2, latency_cycles=8),
+        l3=CacheLevelConfig(name="L3", capacity_bytes=16 * 64,
+                            associativity=2, latency_cycles=25),
+    )
+
+
+LINE = bytes(range(64))
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(tiny_processor())
+
+
+class TestHitLevels:
+    def test_cold_miss_goes_to_memory(self, hierarchy):
+        ev = hierarchy.access(CPUAccess(address=0, write=False))
+        assert ev.hit_level == "memory"
+        assert ev.fill is not None
+        assert ev.fill.access is AccessType.READ
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(CPUAccess(address=0, write=False))
+        ev = hierarchy.access(CPUAccess(address=0, write=False))
+        assert ev.hit_level == "L1"
+        assert ev.latency_cycles == 2
+        assert ev.fill is None
+
+    def test_stats_accumulate(self, hierarchy):
+        hierarchy.access(CPUAccess(address=0, write=False))
+        hierarchy.access(CPUAccess(address=0, write=False))
+        assert hierarchy.stats.l1_hits == 1
+        assert hierarchy.stats.l1_misses == 1
+        assert hierarchy.stats.fills_from_memory == 1
+
+    def test_core_range_checked(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.access(CPUAccess(address=0, write=False, core=5))
+
+    def test_private_l1_per_core(self, hierarchy):
+        hierarchy.access(CPUAccess(address=0, write=False, core=0))
+        ev = hierarchy.access(CPUAccess(address=0, write=False, core=1))
+        # Core 1 misses its own L1 even though core 0 has the line.
+        assert ev.hit_level != "L1"
+
+
+class TestWritebackFlow:
+    def test_dirty_data_eventually_reaches_memory(self, hierarchy):
+        # Write many distinct lines so dirty evictions cascade L1->L2->L3->mem.
+        writebacks = []
+        for i in range(200):
+            payload = i.to_bytes(4, "little") * 16
+            ev = hierarchy.access(CPUAccess(address=i * 64, write=True,
+                                            data=payload))
+            writebacks.extend(ev.writebacks)
+        assert writebacks, "expected dirty write-backs to memory"
+        for wb in writebacks:
+            assert wb.access is AccessType.WRITE
+            assert wb.data is not None and len(wb.data) == 64
+
+    def test_writeback_content_preserved(self, hierarchy):
+        """The payload written by the CPU must be the payload evicted."""
+        payloads = {}
+        writebacks = []
+        for i in range(300):
+            payload = (i % 251).to_bytes(2, "little") * 32
+            payloads[i * 64] = payload
+            ev = hierarchy.access(CPUAccess(address=i * 64, write=True,
+                                            data=payload))
+            writebacks.extend(ev.writebacks)
+        for wb in writebacks:
+            assert wb.data == payloads[wb.address]
+
+    def test_drain_flushes_remaining_dirty_lines(self, hierarchy):
+        for i in range(10):
+            hierarchy.access(CPUAccess(address=i * 64, write=True, data=LINE))
+        drained = hierarchy.drain()
+        # Every written line must come out exactly once over run + drain.
+        assert all(wb.data == LINE for wb in drained)
+        assert drained, "expected dirty lines at drain"
+
+
+class TestHitRates:
+    def test_hot_loop_has_high_l1_hit_rate(self, hierarchy):
+        for _ in range(50):
+            for addr in (0, 64):
+                hierarchy.access(CPUAccess(address=addr, write=False))
+        l1, _, _ = hierarchy.stats.hit_rates()
+        assert l1 > 0.9
+
+    def test_hit_rates_bounded(self, hierarchy):
+        for i in range(100):
+            hierarchy.access(CPUAccess(address=(i % 40) * 64, write=False))
+        for rate in hierarchy.stats.hit_rates():
+            assert 0.0 <= rate <= 1.0
+
+
+class TestRunIterator:
+    def test_run_yields_event_per_access(self, hierarchy):
+        accesses = [CPUAccess(address=i * 64, write=False) for i in range(5)]
+        events = list(hierarchy.run(iter(accesses)))
+        assert len(events) == 5

@@ -1,0 +1,87 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import (
+    gib,
+    human_bytes,
+    is_power_of_two,
+    kib,
+    mib,
+    ms,
+    nj,
+    ns,
+    pj,
+    seconds,
+    to_mj,
+    to_ms,
+    to_us,
+    us,
+)
+
+
+class TestTime:
+    def test_identity_ns(self):
+        assert ns(75) == 75.0
+
+    def test_us(self):
+        assert us(1.5) == 1500.0
+
+    def test_ms(self):
+        assert ms(2) == 2_000_000.0
+
+    def test_seconds(self):
+        assert seconds(1) == 1e9
+
+    def test_roundtrip(self):
+        assert to_us(us(3.25)) == pytest.approx(3.25)
+        assert to_ms(ms(0.4)) == pytest.approx(0.4)
+
+
+class TestEnergy:
+    def test_nj(self):
+        assert nj(6.75) == 6.75
+
+    def test_pj(self):
+        assert pj(500) == pytest.approx(0.5)
+
+    def test_to_mj(self):
+        assert to_mj(nj(2_000_000)) == pytest.approx(2.0)
+
+
+class TestCapacity:
+    def test_kib(self):
+        assert kib(512) == 512 * 1024
+
+    def test_mib(self):
+        assert mib(16) == 16 * 1024 * 1024
+
+    def test_gib(self):
+        assert gib(16) == 16 * 1024 ** 3
+
+    def test_fractional(self):
+        assert kib(0.5) == 512
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(37) == "37 B"
+
+    def test_kib(self):
+        assert human_bytes(512 * 1024) == "512.0 KiB"
+
+    def test_mib(self):
+        assert human_bytes(16 * 1024 * 1024) == "16.0 MiB"
+
+    def test_tib(self):
+        assert human_bytes(64 * 1024 ** 4) == "64.0 TiB"
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -2, 3, 6, 12, 100):
+            assert not is_power_of_two(n)

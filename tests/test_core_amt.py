@@ -1,0 +1,84 @@
+"""Tests for the AMT (address mapping table)."""
+
+import pytest
+
+from repro.common.config import MetadataCacheConfig, PCMConfig
+from repro.common.units import mib
+from repro.core.amt import (
+    AMT_CACHE_ENTRY_SIZE,
+    AMT_HOME_ENTRY_SIZE,
+    AddressMappingTable,
+)
+from repro.nvmm.controller import MemoryController
+
+
+@pytest.fixture
+def controller():
+    return MemoryController(PCMConfig(capacity_bytes=mib(4), num_banks=4))
+
+
+def make_amt(controller, cache_bytes=AMT_CACHE_ENTRY_SIZE * 4):
+    return AddressMappingTable(
+        MetadataCacheConfig(efit_bytes=1024, amt_bytes=cache_bytes),
+        controller)
+
+
+class TestEntrySizes:
+    def test_cached_entry_is_13_bytes(self):
+        # 8 B initAddr tag + 4 B Addr_base + 1 B Addr_offsets.
+        assert AMT_CACHE_ENTRY_SIZE == 13
+
+    def test_home_entry_is_5_bytes(self):
+        # The NVMM home array is indexed by initAddr; only the packed
+        # physical address is stored.
+        assert AMT_HOME_ENTRY_SIZE == 5
+
+
+class TestMapping:
+    def test_update_lookup(self, controller):
+        amt = make_amt(controller)
+        amt.update(100, 7, 0.0)
+        frame, _, hit = amt.lookup(100, 1.0)
+        assert frame == 7
+        assert hit
+
+    def test_many_to_one(self, controller):
+        amt = make_amt(controller)
+        for logical in (1, 2, 3):
+            amt.update(logical, 55, 0.0)
+        assert all(amt.current_frame(x) == 55 for x in (1, 2, 3))
+
+    def test_physical_address_packing(self, controller):
+        amt = make_amt(controller)
+        amt.update(9, 0x1FF, 0.0)
+        pa = amt.physical_address(9)
+        assert pa.base == 1 and pa.offset == 0xFF
+        assert amt.physical_address(777) is None
+
+    def test_frame_must_fit_40_bits(self, controller):
+        amt = make_amt(controller)
+        with pytest.raises(ValueError):
+            amt.update(0, 1 << 40, 0.0)
+
+    def test_nvmm_footprint_uses_packed_entries(self, controller):
+        amt = make_amt(controller)
+        for i in range(10):
+            amt.update(i, i, 0.0)
+        assert amt.nvmm_bytes() == 10 * AMT_HOME_ENTRY_SIZE
+
+
+class TestCacheBehaviour:
+    def test_evicted_entries_survive_in_home(self, controller):
+        amt = make_amt(controller, cache_bytes=AMT_CACHE_ENTRY_SIZE * 2)
+        for i in range(8):
+            amt.update(i, i + 50, 0.0)
+        for i in range(8):
+            assert amt.current_frame(i) == i + 50
+
+    def test_miss_charges_nvmm_read(self, controller):
+        amt = make_amt(controller, cache_bytes=AMT_CACHE_ENTRY_SIZE * 2)
+        for i in range(4):
+            amt.update(i, i, 0.0)
+        before = controller.metadata_reads
+        amt.lookup(0, 100.0)  # evicted from the tiny cache
+        assert controller.metadata_reads == before + 1

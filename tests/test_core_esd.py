@@ -1,0 +1,180 @@
+"""Tests for the ESD scheme itself."""
+
+import pytest
+
+from repro.common.config import (
+    ESDConfig,
+    MetadataCacheConfig,
+    PCMConfig,
+    SystemConfig,
+)
+from repro.common.types import AccessType, MemoryRequest, WritePathStage
+from repro.common.units import kib, mib
+from repro.core.esd import ESDScheme
+from repro.ecc.codec import line_ecc
+
+
+def wreq(addr, data, t=0.0):
+    return MemoryRequest(address=addr, access=AccessType.WRITE, data=data,
+                         issue_time_ns=t)
+
+
+def rreq(addr, t=0.0):
+    return MemoryRequest(address=addr, access=AccessType.READ, issue_time_ns=t)
+
+
+LINE = bytes(range(64))
+OTHER = b"\x0F" * 64
+
+
+@pytest.fixture
+def scheme(config):
+    return ESDScheme(config)
+
+
+class TestWritePath:
+    def test_first_write_is_unique(self, scheme):
+        r = scheme.handle_write(wreq(0, LINE))
+        assert not r.deduplicated
+        assert r.wrote_line
+        assert scheme.controller.data_writes == 1
+
+    def test_duplicate_eliminated_after_byte_compare(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        r = scheme.handle_write(wreq(64, LINE, t=500.0))
+        assert r.deduplicated
+        assert not r.wrote_line
+        # The confirming read appears in the stage breakdown.
+        assert WritePathStage.READ_FOR_COMPARISON in r.stages
+
+    def test_no_fingerprint_compute_ever(self, scheme):
+        """ESD's headline: zero hash computation on the write path."""
+        for i in range(20):
+            scheme.handle_write(wreq(i * 64, LINE if i % 2 else OTHER,
+                                     t=i * 400.0))
+        assert WritePathStage.FINGERPRINT_COMPUTE not in scheme.breakdown.by_stage
+
+    def test_no_fingerprint_nvmm_lookup_ever(self, scheme):
+        """Selective dedup: fingerprints are never fetched from NVMM."""
+        for i in range(20):
+            scheme.handle_write(wreq(i * 64, LINE if i % 2 else OTHER,
+                                     t=i * 400.0))
+        assert (WritePathStage.FINGERPRINT_NVMM_LOOKUP
+                not in scheme.breakdown.by_stage)
+
+    def test_unique_write_latency_has_no_hash(self, scheme):
+        r = scheme.handle_write(wreq(0, LINE))
+        # probe + encrypt + PCM write + metadata; far below SHA-1's 321 ns
+        # compute alone plus the write.
+        expected_max = (scheme.efit.probe_latency_ns
+                        + scheme.crypto.encrypt_latency_ns
+                        + scheme.config.pcm.write_latency_ns
+                        + 5.0)
+        assert r.latency_ns <= expected_max
+
+    def test_read_back_correct(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(64, LINE, t=500.0))
+        scheme.handle_write(wreq(128, OTHER, t=1000.0))
+        assert scheme.handle_read(rreq(0, t=2000.0)).data == LINE
+        assert scheme.handle_read(rreq(64, t=2100.0)).data == LINE
+        assert scheme.handle_read(rreq(128, t=2200.0)).data == OTHER
+
+    def test_self_rewrite_same_content_safe(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        r = scheme.handle_write(wreq(0, LINE, t=500.0))
+        assert r.deduplicated
+        assert scheme.handle_read(rreq(0, t=1000.0)).data == LINE
+
+    def test_overwrite_frees_frame_and_efit_entry(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(0, OTHER, t=500.0))
+        # LINE's frame is recycled, and its EFIT entry invalidated: a new
+        # LINE write must be unique again.
+        r = scheme.handle_write(wreq(64, LINE, t=1000.0))
+        assert not r.deduplicated
+        assert scheme.refcounts.live_frames() == 2
+
+
+class TestECCCollisions:
+    def test_collision_confirmed_by_bytes_not_ecc(self, config):
+        scheme = ESDScheme(config)
+        scheme.handle_write(wreq(0, LINE))
+        ecc = line_ecc(LINE)
+        # Craft a different line with a colliding ECC by brute force over
+        # single-word tweaks: XOR a word with a codeword of the Hamming
+        # code's kernel.  Simplest kernel member: flip data bits so that the
+        # syndrome cancels - construct via linearity: find two words with
+        # equal ECC.
+        from repro.ecc.hamming import encode_word
+        base = int.from_bytes(LINE[:8], "little")
+        collider = None
+        for delta in range(1, 1 << 16):
+            if encode_word(base ^ delta) == encode_word(base):
+                collider = base ^ delta
+                break
+        assert collider is not None, "no small kernel element found"
+        colliding_line = collider.to_bytes(8, "little") + LINE[8:]
+        assert colliding_line != LINE
+        assert line_ecc(colliding_line) == ecc
+        r = scheme.handle_write(wreq(64, colliding_line, t=500.0))
+        # ECC matches but bytes differ: must NOT deduplicate.
+        assert not r.deduplicated
+        assert scheme.counters.get("ecc_collisions") == 1
+        # Both contents remain readable.
+        assert scheme.handle_read(rreq(0, t=1000.0)).data == LINE
+        assert scheme.handle_read(rreq(64, t=1100.0)).data == colliding_line
+
+
+class TestReferHOverflow:
+    def test_saturated_referh_writes_new_line(self):
+        cfg = SystemConfig(
+            pcm=PCMConfig(capacity_bytes=mib(4), num_banks=4),
+            metadata_cache=MetadataCacheConfig(efit_bytes=kib(8),
+                                               amt_bytes=kib(8)),
+            esd=ESDConfig(refer_h_max=3))
+        scheme = ESDScheme(cfg)
+        writes_before = None
+        for i in range(10):
+            scheme.handle_write(wreq(i * 64, LINE, t=i * 500.0))
+        # referH saturates at 3; later identical writes go to fresh frames.
+        assert scheme.counters.get("referh_overflows") >= 1
+        # All logical lines still read back correctly.
+        for i in range(10):
+            assert scheme.handle_read(
+                rreq(i * 64, t=10_000.0 + i * 100)).data == LINE
+
+
+class TestSelectiveness:
+    def test_small_efit_misses_cold_duplicates(self):
+        cfg = SystemConfig(
+            pcm=PCMConfig(capacity_bytes=mib(4), num_banks=4),
+            metadata_cache=MetadataCacheConfig(
+                efit_bytes=14 * 2,  # two entries
+                amt_bytes=kib(8)))
+        scheme = ESDScheme(cfg)
+        contents = [bytes([i]) * 64 for i in range(1, 6)]
+        t = 0.0
+        for c in contents:          # 5 uniques through a 2-entry EFIT
+            scheme.handle_write(wreq(0, c, t))
+            t += 500.0
+        # contents[0] was evicted from the EFIT long ago; rewriting it is
+        # NOT detected as duplicate (selective dedup misses it).
+        r = scheme.handle_write(wreq(64, contents[0], t))
+        assert not r.deduplicated
+
+    def test_metadata_footprint_is_amt_only_in_nvmm(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(64, OTHER, t=500.0))
+        fp = scheme.metadata_footprint()
+        # NVMM metadata = packed AMT entries only (no fingerprint store).
+        from repro.core.amt import AMT_HOME_ENTRY_SIZE
+        assert fp.nvmm_bytes == 2 * AMT_HOME_ENTRY_SIZE
+        assert fp.onchip_bytes > 0
+
+    def test_hit_rates_exposed(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(64, LINE, t=500.0))
+        scheme.handle_read(rreq(0, t=1000.0))
+        assert 0.0 <= scheme.efit_hit_rate <= 1.0
+        assert 0.0 <= scheme.amt_hit_rate <= 1.0

@@ -1,0 +1,118 @@
+"""Tests for fingerprint engines (SHA-1, MD5, CRC-32, truncation)."""
+
+import hashlib
+import zlib
+
+import pytest
+
+from repro.crypto.costs import CryptoCosts, OperationCostModel
+from repro.crypto.fingerprints import (
+    CRC32Engine,
+    FingerprintEngine,
+    MD5Engine,
+    SHA1Engine,
+    TruncatedEngine,
+    make_engine,
+)
+
+
+class TestSHA1Engine:
+    def test_matches_hashlib(self):
+        data = bytes(range(64))
+        expected = int.from_bytes(hashlib.sha1(data).digest(), "big")
+        assert SHA1Engine().fingerprint(data) == expected
+
+    def test_width(self):
+        e = SHA1Engine()
+        assert e.bits == 160
+        assert e.fingerprint_size_bytes() == 20
+
+    def test_paper_latency(self):
+        assert SHA1Engine().latency_ns == 321.0
+
+    def test_size_check(self):
+        with pytest.raises(ValueError):
+            SHA1Engine().fingerprint(b"tiny")
+
+
+class TestMD5Engine:
+    def test_matches_hashlib(self):
+        data = bytes(range(64))
+        expected = int.from_bytes(hashlib.md5(data).digest(), "big")
+        assert MD5Engine().fingerprint(data) == expected
+
+    def test_paper_latency(self):
+        assert MD5Engine().latency_ns == 312.0
+
+
+class TestCRC32Engine:
+    def test_matches_zlib(self):
+        data = bytes(range(64))
+        assert CRC32Engine().fingerprint(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_width(self):
+        assert CRC32Engine().bits == 32
+        assert CRC32Engine().fingerprint_size_bytes() == 4
+
+    def test_cheaper_than_sha1(self):
+        crc, sha = CRC32Engine(), SHA1Engine()
+        assert crc.latency_ns < sha.latency_ns
+        assert crc.energy_nj < sha.energy_nj
+
+
+class TestTruncatedEngine:
+    def test_truncation_masks_low_bits(self):
+        inner = SHA1Engine()
+        t = TruncatedEngine(inner, 16)
+        data = bytes(range(64))
+        assert t.fingerprint(data) == inner.fingerprint(data) & 0xFFFF
+        assert t.bits == 16
+        assert t.name == "sha1_16"
+
+    def test_rejects_widening(self):
+        with pytest.raises(ValueError):
+            TruncatedEngine(CRC32Engine(), 64)
+
+    def test_inherits_costs(self):
+        t = TruncatedEngine(SHA1Engine(), 8)
+        assert t.latency_ns == SHA1Engine().latency_ns
+
+
+class TestMakeEngine:
+    @pytest.mark.parametrize("name,bits", [
+        ("sha1", 160), ("md5", 128), ("crc32", 32), ("ecc", 64)])
+    def test_factory(self, name, bits):
+        engine = make_engine(name)
+        assert engine.name == name
+        assert engine.bits == bits
+        assert isinstance(engine, FingerprintEngine)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_engine("blake3")
+
+    def test_custom_costs(self):
+        costs = CryptoCosts(sha1=OperationCostModel(latency_ns=100.0,
+                                                    energy_nj=1.0))
+        assert make_engine("sha1", costs).latency_ns == 100.0
+
+
+class TestCollisionBehaviour:
+    def test_crc_collides_more_easily_than_sha1(self):
+        # Construct a modest corpus; CRC32 truncated to 8 bits must collide,
+        # SHA-1 must not.
+        crc8 = TruncatedEngine(CRC32Engine(), 8)
+        sha = SHA1Engine()
+        seen_crc = {}
+        seen_sha = {}
+        crc_collisions = sha_collisions = 0
+        for i in range(2000):
+            line = i.to_bytes(8, "little") + bytes(56)
+            f1 = crc8.fingerprint(line)
+            f2 = sha.fingerprint(line)
+            crc_collisions += f1 in seen_crc
+            sha_collisions += f2 in seen_sha
+            seen_crc[f1] = i
+            seen_sha[f2] = i
+        assert crc_collisions > 0
+        assert sha_collisions == 0

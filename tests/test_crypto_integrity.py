@@ -1,0 +1,122 @@
+"""Tests for the counter integrity tree."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.crypto.counter_mode import CounterTable
+from repro.crypto.integrity import (
+    COUNTERS_PER_LEAF,
+    CounterIntegrityTree,
+)
+
+
+@pytest.fixture
+def protected():
+    counters = CounterTable()
+    tree = CounterIntegrityTree(counters, num_lines=4096)
+    return counters, tree
+
+
+class TestCleanOperation:
+    def test_fresh_tree_verifies(self, protected):
+        _, tree = protected
+        tree.verify(0)
+        tree.verify(4095)
+
+    def test_update_then_verify(self, protected):
+        counters, tree = protected
+        for line in (0, 100, 4095):
+            counters.advance(line)
+            tree.update(line)
+        for line in (0, 100, 4095, 55):
+            tree.verify(line)
+
+    def test_repeated_updates(self, protected):
+        counters, tree = protected
+        for _ in range(20):
+            counters.advance(7)
+            tree.update(7)
+        tree.verify(7)
+
+    def test_out_of_range(self, protected):
+        _, tree = protected
+        with pytest.raises(ValueError):
+            tree.verify(4096)
+
+    def test_sparse_storage(self, protected):
+        counters, tree = protected
+        counters.advance(0)
+        tree.update(0)
+        # One path of nodes, not the whole tree.
+        assert tree.node_count() <= tree.depth
+
+    def test_stats(self, protected):
+        counters, tree = protected
+        counters.advance(1)
+        tree.update(1)
+        tree.verify(1)
+        assert tree.updates == 1
+        assert tree.verifications == 1
+
+
+class TestTamperDetection:
+    def test_counter_rollback_detected(self, protected):
+        counters, tree = protected
+        counters.advance(50)
+        counters.advance(50)
+        tree.update(50)
+        tree.update(50)
+        counters.counters[50] = 1  # rollback attack
+        with pytest.raises(IntegrityError):
+            tree.verify(50)
+
+    def test_counter_injection_detected(self, protected):
+        counters, tree = protected
+        counters.counters[123] = 7  # counter set without tree update
+        with pytest.raises(IntegrityError):
+            tree.verify(123)
+
+    def test_neighbour_tamper_detected_via_shared_leaf(self, protected):
+        counters, tree = protected
+        counters.advance(0)
+        tree.update(0)
+        # Line 1 shares line 0's leaf; tampering it breaks verification of
+        # any line in the leaf.
+        counters.counters[1] = 99
+        with pytest.raises(IntegrityError):
+            tree.verify(0)
+
+    def test_untouched_region_remains_valid_after_tamper_repair(self, protected):
+        counters, tree = protected
+        counters.advance(9)
+        tree.update(9)
+        counters.counters[9] += 1
+        with pytest.raises(IntegrityError):
+            tree.verify(9)
+        counters.counters[9] -= 1
+        tree.verify(9)  # consistent again
+
+    def test_verify_all_touched(self, protected):
+        counters, tree = protected
+        lines = [0, 8, 16, 4088]
+        for line in lines:
+            counters.advance(line)
+            tree.update(line)
+        assert tree.verify_all_touched() == len(lines)
+
+
+class TestGeometry:
+    def test_leaf_grouping(self):
+        counters = CounterTable()
+        tree = CounterIntegrityTree(counters, num_lines=64)
+        assert tree.num_leaves == 64 // COUNTERS_PER_LEAF
+
+    def test_depth_grows_logarithmically(self):
+        counters = CounterTable()
+        small = CounterIntegrityTree(counters, num_lines=64)
+        large = CounterIntegrityTree(counters, num_lines=64 * 8 * 8)
+        assert large.depth == small.depth + 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CounterIntegrityTree(CounterTable(), num_lines=0)

@@ -1,0 +1,136 @@
+"""Tests for the mapping table and frame reference counting."""
+
+import pytest
+
+from repro.common.config import PCMConfig
+from repro.common.units import mib
+from repro.dedup.mapping import FrameRefcounts, MappingTable
+from repro.nvmm.allocator import FrameAllocator
+from repro.nvmm.controller import MemoryController
+
+
+@pytest.fixture
+def controller():
+    return MemoryController(PCMConfig(capacity_bytes=mib(4), num_banks=4))
+
+
+def make_table(controller, cache_bytes=16 * 10, entry_size=16):
+    return MappingTable(cache_bytes=cache_bytes, entry_size=entry_size,
+                        controller=controller)
+
+
+class TestMappingTable:
+    def test_lookup_absent(self, controller):
+        table = make_table(controller)
+        frame, t, hit = table.lookup(5, 0.0)
+        assert frame is None
+        assert not hit
+        assert t > 0.0  # probe + NVMM read
+        assert controller.metadata_reads == 1
+
+    def test_update_then_lookup_hits_cache(self, controller):
+        table = make_table(controller)
+        table.update(5, 42, 0.0)
+        frame, _t, hit = table.lookup(5, 10.0)
+        assert frame == 42
+        assert hit
+
+    def test_cache_hit_costs_probe_only(self, controller):
+        table = make_table(controller)
+        table.update(5, 42, 0.0)
+        before = controller.metadata_reads
+        _, t, _ = table.lookup(5, 100.0)
+        assert controller.metadata_reads == before
+        assert t == 100.0 + table.probe_latency_ns
+
+    def test_dirty_eviction_writes_home(self, controller):
+        table = make_table(controller, cache_bytes=16 * 2)  # 2 entries
+        for i in range(10):
+            table.update(i, i + 100, 0.0)
+        # Evicted dirty entries must land in the home region.
+        assert table.current_frame(0) == 100
+        assert controller.metadata_writes > 0
+
+    def test_lookup_after_eviction_reads_home(self, controller):
+        table = make_table(controller, cache_bytes=16 * 2)
+        table.update(0, 7, 0.0)
+        table.update(1, 8, 0.0)
+        table.update(2, 9, 0.0)  # evicts entry 0
+        frame, _, hit = table.lookup(0, 100.0)
+        assert frame == 7
+        assert not hit
+
+    def test_update_overwrites(self, controller):
+        table = make_table(controller)
+        table.update(3, 10, 0.0)
+        table.update(3, 11, 1.0)
+        assert table.current_frame(3) == 11
+
+    def test_hit_rate(self, controller):
+        table = make_table(controller)
+        table.update(0, 1, 0.0)
+        table.lookup(0, 1.0)   # hit
+        table.lookup(99, 2.0)  # miss
+        assert table.hit_rate == 0.5
+
+    def test_entry_count_spans_cache_and_home(self, controller):
+        table = make_table(controller, cache_bytes=16 * 2)
+        for i in range(6):
+            table.update(i, i, 0.0)
+        assert table.entry_count == 6
+
+    def test_footprints(self, controller):
+        table = make_table(controller, cache_bytes=16 * 4)
+        for i in range(8):
+            table.update(i, i, 0.0)
+        assert table.onchip_bytes() <= 4 * 16
+        assert table.nvmm_bytes() == 8 * 16
+
+    def test_validation(self, controller):
+        with pytest.raises(ValueError):
+            MappingTable(cache_bytes=0, entry_size=16, controller=controller)
+
+
+class TestWriteCoalescing:
+    def test_dirty_writebacks_coalesce(self, controller):
+        # entry_size 16 -> 4 entries per 64-byte metadata line.
+        table = make_table(controller, cache_bytes=16 * 1, entry_size=16)
+        for i in range(16):
+            table.update(i, i, 0.0)
+        # 15 dirty evictions coalesce into floor(15/4)=3 PCM writes.
+        assert controller.metadata_writes == 3
+
+
+class TestFrameRefcounts:
+    def test_acquire_release(self):
+        alloc = FrameAllocator(4)
+        refs = FrameRefcounts(alloc)
+        f = alloc.allocate()
+        assert refs.acquire(f) == 1
+        assert refs.acquire(f) == 2
+        assert refs.release(f) == 1
+        assert alloc.is_allocated(f)
+
+    def test_release_to_zero_frees_frame(self):
+        alloc = FrameAllocator(4)
+        refs = FrameRefcounts(alloc)
+        f = alloc.allocate()
+        refs.acquire(f)
+        assert refs.release(f) == 0
+        assert not alloc.is_allocated(f)
+
+    def test_release_without_reference_rejected(self):
+        alloc = FrameAllocator(4)
+        refs = FrameRefcounts(alloc)
+        with pytest.raises(ValueError):
+            refs.release(0)
+
+    def test_live_frames(self):
+        alloc = FrameAllocator(4)
+        refs = FrameRefcounts(alloc)
+        a, b = alloc.allocate(), alloc.allocate()
+        refs.acquire(a)
+        refs.acquire(b)
+        assert refs.live_frames() == 2
+        refs.release(a)
+        assert refs.live_frames() == 1

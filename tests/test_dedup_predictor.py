@@ -1,0 +1,85 @@
+"""Tests for DeWrite's duplication predictor."""
+
+import pytest
+
+from repro.dedup.predictor import DuplicationPredictor, PredictionStats
+
+
+class TestPredictor:
+    def test_cold_predicts_duplicate(self):
+        # Counters initialize at the weakly-duplicate threshold.
+        p = DuplicationPredictor()
+        assert p.predict(0) is True
+
+    def test_trains_toward_unique(self):
+        p = DuplicationPredictor()
+        for _ in range(3):
+            p.update(0, was_duplicate=False)
+        assert p.predict(0) is False
+
+    def test_trains_back_toward_duplicate(self):
+        p = DuplicationPredictor()
+        for _ in range(3):
+            p.update(0, was_duplicate=False)
+        for _ in range(3):
+            p.update(0, was_duplicate=True)
+        assert p.predict(0) is True
+
+    def test_saturation(self):
+        p = DuplicationPredictor(bits=2)
+        for _ in range(100):
+            p.update(0, was_duplicate=True)
+        # Saturated at 3; two unique outcomes flip the prediction.
+        p.update(0, was_duplicate=False)
+        assert p.predict(0) is True
+        p.update(0, was_duplicate=False)
+        assert p.predict(0) is False
+
+    def test_per_address_independence(self):
+        p = DuplicationPredictor()
+        for _ in range(3):
+            p.update(0, was_duplicate=False)
+        assert p.predict(0) is False
+        assert p.predict(1) is True  # untouched entry
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DuplicationPredictor(entries=0)
+        with pytest.raises(ValueError):
+            DuplicationPredictor(bits=0)
+
+
+class TestPredictionStats:
+    def test_confusion_matrix(self):
+        p = DuplicationPredictor()
+        p.update(0, was_duplicate=True)    # predicted dup -> T1
+        p.update(0, was_duplicate=True)    # T1
+        for _ in range(3):
+            p.update(1, was_duplicate=False)  # first is F2, then T3s
+        stats = p.stats
+        assert stats.true_dup == 2
+        assert stats.false_dup >= 1
+        assert stats.true_unique >= 1
+        assert stats.total == 5
+
+    def test_accuracy(self):
+        p = DuplicationPredictor()
+        p.update(0, was_duplicate=True)
+        p.update(0, was_duplicate=True)
+        assert p.stats.accuracy == 1.0
+
+    def test_empty_accuracy(self):
+        assert PredictionStats().accuracy == 0.0
+
+    def test_bursty_stream_predicted_well(self):
+        """High burstiness (lbm-like) should give high accuracy."""
+        import random
+        rnd = random.Random(3)
+        p = DuplicationPredictor()
+        state = True
+        for _ in range(2000):
+            if rnd.random() > 0.97:  # rare state flips (bursty stream)
+                state = not state
+            p.predict(7)
+            p.update(7, was_duplicate=state)
+        assert p.stats.accuracy > 0.8

@@ -1,0 +1,113 @@
+"""Tests for the Dedup_SHA1 full-deduplication scheme."""
+
+import pytest
+
+from repro.common.types import AccessType, MemoryRequest, WritePathStage
+from repro.dedup.dedup_sha1 import DedupSHA1Scheme
+
+
+def wreq(addr, data, t=0.0):
+    return MemoryRequest(address=addr, access=AccessType.WRITE, data=data,
+                         issue_time_ns=t)
+
+
+def rreq(addr, t=0.0):
+    return MemoryRequest(address=addr, access=AccessType.READ, issue_time_ns=t)
+
+
+LINE = bytes(range(64))
+OTHER = b"\x77" * 64
+
+
+@pytest.fixture
+def scheme(config):
+    return DedupSHA1Scheme(config)
+
+
+class TestDeduplication:
+    def test_duplicate_content_deduplicated(self, scheme):
+        r1 = scheme.handle_write(wreq(0, LINE))
+        r2 = scheme.handle_write(wreq(64, LINE, t=500.0))
+        assert not r1.deduplicated
+        assert r2.deduplicated
+        assert not r2.wrote_line
+        assert scheme.controller.data_writes == 1
+        assert scheme.allocator.allocated_count == 1
+
+    def test_distinct_content_not_deduplicated(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        r = scheme.handle_write(wreq(64, OTHER, t=500.0))
+        assert not r.deduplicated
+        assert scheme.controller.data_writes == 2
+
+    def test_dedup_read_back_correct(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(64, LINE, t=500.0))
+        assert scheme.handle_read(rreq(0, t=1000.0)).data == LINE
+        assert scheme.handle_read(rreq(64, t=1500.0)).data == LINE
+
+    def test_overwrite_releases_old_frame(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(0, OTHER, t=500.0))
+        # The old frame held the only reference and must be recycled.
+        assert scheme.refcounts.live_frames() == 1
+        assert scheme.handle_read(rreq(0, t=1000.0)).data == OTHER
+
+    def test_self_rewrite_same_content(self, scheme):
+        """Rewriting the same content to the same address must be safe."""
+        scheme.handle_write(wreq(0, LINE))
+        r = scheme.handle_write(wreq(0, LINE, t=500.0))
+        assert r.deduplicated
+        assert scheme.handle_read(rreq(0, t=1000.0)).data == LINE
+        assert scheme.refcounts.count(0) == 1
+
+    def test_freed_frame_fingerprint_invalidated(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        scheme.handle_write(wreq(0, OTHER, t=500.0))  # frees LINE's frame
+        # LINE's fingerprint must be gone: a new write of LINE is unique.
+        r = scheme.handle_write(wreq(64, LINE, t=1000.0))
+        assert not r.deduplicated
+
+    def test_write_reduction_metric(self, scheme):
+        for i in range(4):
+            scheme.handle_write(wreq(i * 64, LINE, t=i * 500.0))
+        assert scheme.write_reduction() == pytest.approx(0.75)
+
+
+class TestLatencyModel:
+    def test_sha1_latency_on_critical_path(self, scheme):
+        r = scheme.handle_write(wreq(0, LINE))
+        assert r.latency_ns >= scheme.engine.latency_ns
+
+    def test_fingerprint_compute_dominates_breakdown(self, scheme):
+        # The paper's Figure 17: ~80% of Dedup_SHA1 write latency is
+        # fingerprint computation (when dedup hits dominate).
+        for i in range(50):
+            scheme.handle_write(wreq(i * 64, LINE, t=i * 400.0))
+        fraction = scheme.breakdown.fraction(WritePathStage.FINGERPRINT_COMPUTE)
+        assert fraction > 0.5
+
+    def test_duplicate_write_has_no_pcm_data_write(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        before = scheme.controller.data_writes
+        scheme.handle_write(wreq(64, LINE, t=500.0))
+        assert scheme.controller.data_writes == before
+
+    def test_stages_reported_per_write(self, scheme):
+        r = scheme.handle_write(wreq(0, LINE))
+        assert WritePathStage.FINGERPRINT_COMPUTE in r.stages
+        assert WritePathStage.FINGERPRINT_NVMM_LOOKUP in r.stages
+        assert WritePathStage.WRITE_UNIQUE in r.stages
+
+
+class TestMetadata:
+    def test_footprint_grows_with_unique_lines(self, scheme):
+        scheme.handle_write(wreq(0, LINE))
+        fp1 = scheme.metadata_footprint().nvmm_bytes
+        scheme.handle_write(wreq(64, OTHER, t=500.0))
+        fp2 = scheme.metadata_footprint().nvmm_bytes
+        assert fp2 > fp1
+
+    def test_fingerprint_entry_is_26_bytes(self, scheme):
+        # 20 B SHA-1 digest + 5 B packed address + 1 B refcount.
+        assert scheme.fingerprint_entry_size == 26

@@ -1,0 +1,76 @@
+"""Tests for ECC fault injection: ESD must not weaken error protection."""
+
+import pytest
+
+from repro.ecc.faults import (
+    RandomFaultInjector,
+    flip_bit,
+    flip_bits,
+    inject_and_decode,
+)
+
+
+class TestFlipBit:
+    def test_flip_and_restore(self):
+        data = bytes(64)
+        flipped = flip_bit(data, 100)
+        assert flipped != data
+        assert flip_bit(flipped, 100) == data
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(bytes(64), 512)
+
+    def test_flip_bits_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            flip_bits(bytes(64), [3, 3])
+
+
+class TestInjectAndDecode:
+    def test_no_fault(self):
+        out = inject_and_decode(bytes(range(64)), [])
+        assert not out.corrected
+        assert not out.detected_uncorrectable
+        assert out.recovered
+
+    def test_single_bit_recovers(self):
+        out = inject_and_decode(bytes(range(64)), [17])
+        assert out.corrected
+        assert out.recovered
+        assert not out.silent_corruption
+
+    def test_double_bit_same_word_detected(self):
+        out = inject_and_decode(bytes(range(64)), [0, 5])
+        assert out.detected_uncorrectable
+        assert not out.recovered
+        assert not out.silent_corruption
+
+    def test_two_bits_in_different_words_recover(self):
+        # One flip per word is within SEC-DED's per-word correction power.
+        out = inject_and_decode(bytes(range(64)), [10, 70])
+        assert out.corrected
+        assert out.recovered
+
+
+class TestCampaigns:
+    def test_single_bit_campaign_always_recovers(self):
+        injector = RandomFaultInjector(seed=3)
+        outcomes = injector.single_bit_campaign(trials=100)
+        assert len(outcomes) == 100
+        assert all(o.recovered for o in outcomes)
+        assert not any(o.silent_corruption for o in outcomes)
+
+    def test_double_bit_same_word_always_detected(self):
+        injector = RandomFaultInjector(seed=3)
+        outcomes = injector.double_bit_campaign(trials=100, same_word=True)
+        assert all(o.detected_uncorrectable for o in outcomes)
+
+    def test_double_bit_cross_word_always_recovers(self):
+        injector = RandomFaultInjector(seed=3)
+        outcomes = injector.double_bit_campaign(trials=100, same_word=False)
+        assert all(o.recovered for o in outcomes)
+
+    def test_campaigns_deterministic(self):
+        a = RandomFaultInjector(seed=11).single_bit_campaign(10)
+        b = RandomFaultInjector(seed=11).single_bit_campaign(10)
+        assert [o.injected_bits for o in a] == [o.injected_bits for o in b]

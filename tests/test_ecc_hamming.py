@@ -1,0 +1,139 @@
+"""Tests for the SEC-DED Hamming(72,64) word codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import UncorrectableError
+from repro.ecc import hamming
+from repro.ecc.hamming import (
+    CODEWORD_LEN,
+    ECC_BITS,
+    NUM_CHECK_BITS,
+    decode_word,
+    encode_word,
+    syndrome,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+BITS = st.integers(min_value=0, max_value=63)
+
+
+class TestLayout:
+    def test_check_bit_count(self):
+        assert NUM_CHECK_BITS == 7
+        assert CODEWORD_LEN == 71
+        assert ECC_BITS == 8
+
+    def test_data_positions_skip_powers_of_two(self):
+        positions = hamming.data_positions()
+        assert len(positions) == 64
+        for p in positions:
+            assert p & (p - 1) != 0  # never a power of two
+
+    def test_masks_cover_every_data_bit(self):
+        combined = 0
+        for mask in hamming.check_masks():
+            combined |= mask
+        assert combined == (1 << 64) - 1
+
+
+class TestEncode:
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            encode_word(-1)
+        with pytest.raises(ValueError):
+            encode_word(1 << 64)
+
+    def test_zero_word_encodes_to_zero(self):
+        # The code is linear: ecc(0) == 0.
+        assert encode_word(0) == 0
+
+    def test_linearity(self):
+        # ecc(a ^ b) == ecc(a) ^ ecc(b) for a GF(2)-linear code.
+        a, b = 0x0123456789ABCDEF, 0xFEDCBA9876543210
+        assert encode_word(a ^ b) == encode_word(a) ^ encode_word(b)
+
+    def test_fast_encoder_matches_reference(self):
+        for w in (0, 1, (1 << 64) - 1, 0xDEADBEEFCAFEBABE, 0x8000000000000001):
+            assert encode_word(w) == hamming._encode_word_masks(w)
+
+
+class TestSyndrome:
+    def test_clean_word_zero_syndrome(self):
+        w = 0xA5A5A5A55A5A5A5A
+        pos, parity = syndrome(w, encode_word(w))
+        assert pos == 0
+        assert parity == 0
+
+    def test_ecc_range_check(self):
+        with pytest.raises(ValueError):
+            syndrome(0, 256)
+
+
+class TestDecode:
+    def test_clean_decode(self):
+        w = 0x123456789ABCDEF0
+        r = decode_word(w, encode_word(w))
+        assert r.word == w
+        assert not r.corrected
+
+    def test_corrects_every_single_data_bit(self):
+        w = 0xDEADBEEFCAFEBABE
+        ecc = encode_word(w)
+        for bit in range(64):
+            r = decode_word(w ^ (1 << bit), ecc)
+            assert r.word == w
+            assert r.corrected
+
+    def test_corrects_flipped_check_bit(self):
+        w = 0x42
+        ecc = encode_word(w)
+        for bit in range(ECC_BITS):
+            r = decode_word(w, ecc ^ (1 << bit))
+            assert r.word == w  # data untouched
+            assert r.corrected
+
+    def test_detects_double_data_bit_error(self):
+        w = 0xFFFFFFFF00000000
+        ecc = encode_word(w)
+        for b1, b2 in [(0, 1), (5, 40), (62, 63)]:
+            with pytest.raises(UncorrectableError):
+                decode_word(w ^ (1 << b1) ^ (1 << b2), ecc)
+
+    def test_detects_data_plus_check_error(self):
+        w = 0x1122334455667788
+        ecc = encode_word(w)
+        with pytest.raises(UncorrectableError):
+            decode_word(w ^ 1, ecc ^ 2)
+
+
+class TestDecodeProperties:
+    @given(WORDS)
+    @settings(max_examples=200)
+    def test_roundtrip_clean(self, word):
+        r = decode_word(word, encode_word(word))
+        assert r.word == word and not r.corrected
+
+    @given(WORDS, BITS)
+    @settings(max_examples=200)
+    def test_single_bit_always_corrected(self, word, bit):
+        r = decode_word(word ^ (1 << bit), encode_word(word))
+        assert r.word == word
+        assert r.corrected
+
+    @given(WORDS, BITS, BITS)
+    @settings(max_examples=200)
+    def test_double_bit_always_detected(self, word, b1, b2):
+        if b1 == b2:
+            return
+        corrupted = word ^ (1 << b1) ^ (1 << b2)
+        with pytest.raises(UncorrectableError):
+            decode_word(corrupted, encode_word(word))
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=200)
+    def test_distinct_ecc_implies_distinct_word(self, a, b):
+        # Soundness of ECC filtering: ecc differs => data differs.
+        if encode_word(a) != encode_word(b):
+            assert a != b

@@ -1,0 +1,68 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+
+from repro.common.errors import OutOfSpaceError
+from repro.nvmm.allocator import FrameAllocator
+
+
+class TestAllocate:
+    def test_sequential_fresh_allocation(self):
+        alloc = FrameAllocator(10)
+        assert [alloc.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_exhaustion(self):
+        alloc = FrameAllocator(2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(OutOfSpaceError):
+            alloc.allocate()
+
+    def test_recycles_freed_frames(self):
+        alloc = FrameAllocator(2)
+        a = alloc.allocate()
+        alloc.allocate()
+        alloc.free(a)
+        assert alloc.allocate() == a
+
+    def test_counts(self):
+        alloc = FrameAllocator(4)
+        alloc.allocate()
+        alloc.allocate()
+        assert alloc.allocated_count == 2
+        assert alloc.free_count == 2
+        assert alloc.utilization() == 0.5
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(0)
+
+
+class TestFree:
+    def test_double_free_rejected(self):
+        alloc = FrameAllocator(2)
+        a = alloc.allocate()
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(2).free(0)
+
+    def test_is_allocated(self):
+        alloc = FrameAllocator(2)
+        a = alloc.allocate()
+        assert alloc.is_allocated(a)
+        alloc.free(a)
+        assert not alloc.is_allocated(a)
+
+    def test_full_churn(self):
+        # Allocate/free cycles never lose or duplicate frames.
+        alloc = FrameAllocator(8)
+        frames = [alloc.allocate() for _ in range(8)]
+        assert len(set(frames)) == 8
+        for f in frames:
+            alloc.free(f)
+        frames2 = [alloc.allocate() for _ in range(8)]
+        assert sorted(frames2) == sorted(frames)

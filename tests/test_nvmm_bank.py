@@ -1,0 +1,121 @@
+"""Tests for bank-level earliest-fit scheduling and the row buffer."""
+
+import pytest
+
+from repro.nvmm.bank import Bank
+
+
+class TestBasicService:
+    def test_idle_bank_serves_immediately(self):
+        bank = Bank(index=0)
+        s = bank.service(100.0, 75.0)
+        assert s.start_ns == 100.0
+        assert s.completion_ns == 175.0
+        assert s.latency_ns == 75.0
+        assert s.queue_delay_ns == 0.0
+
+    def test_busy_bank_queues(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 150.0)
+        s = bank.service(50.0, 75.0)
+        assert s.start_ns == 150.0
+        assert s.queue_delay_ns == 100.0
+
+    def test_busy_time_accumulates(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 150.0)
+        bank.service(0.0, 75.0)
+        assert bank.busy_time_ns == 225.0
+        assert bank.services == 2
+
+    def test_negative_times_rejected(self):
+        bank = Bank(index=0)
+        with pytest.raises(ValueError):
+            bank.service(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            bank.service(0.0, -1.0)
+
+
+class TestEarliestFit:
+    def test_gap_filling(self):
+        """An access arriving before a future-scheduled op fills the gap."""
+        bank = Bank(index=0)
+        # An op scheduled far in the future (delayed request chain).
+        bank.service(1000.0, 150.0)
+        # An earlier-arriving op processed later must NOT queue behind it.
+        s = bank.service(100.0, 75.0)
+        assert s.start_ns == 100.0
+        assert s.completion_ns == 175.0
+
+    def test_gap_too_small(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 100.0)       # [0, 100)
+        bank.service(150.0, 100.0)     # [150, 250)
+        # Needs 75ns starting at 90: gap [100,150) is only 50ns -> goes after.
+        s = bank.service(90.0, 75.0)
+        assert s.start_ns == 250.0
+
+    def test_exact_fit_gap(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 100.0)       # [0, 100)
+        bank.service(200.0, 100.0)     # [200, 300)
+        s = bank.service(100.0, 100.0)  # exactly fills [100, 200)
+        assert s.start_ns == 100.0
+        assert s.completion_ns == 200.0
+
+    def test_busy_until_tracks_last_interval(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 50.0)
+        bank.service(500.0, 50.0)
+        assert bank.busy_until_ns == 550.0
+
+    def test_queue_delay_probe(self):
+        bank = Bank(index=0)
+        bank.service(0.0, 100.0)
+        assert bank.queue_delay(50.0) == 50.0
+        assert bank.queue_delay(200.0) == 0.0
+
+    def test_no_overlapping_intervals(self):
+        bank = Bank(index=0)
+        services = []
+        import random
+        rnd = random.Random(5)
+        for _ in range(300):
+            services.append(bank.service(rnd.uniform(0, 1000),
+                                         rnd.choice([15.0, 75.0, 150.0])))
+        spans = sorted((s.start_ns, s.completion_ns) for s in services)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2 + 1e-9  # non-overlapping
+
+    def test_pruning_keeps_scheduling_correct(self):
+        bank = Bank(index=0, prune_margin_ns=10_000.0)
+        t = 0.0
+        for i in range(10_000):
+            s = bank.service(t, 10.0)
+            t = s.completion_ns
+        # Internal interval list stays bounded.
+        assert len(bank._intervals) < 9_000
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self):
+        bank = Bank(index=0)
+        assert bank.access_row(("data", 1)) is False
+
+    def test_repeat_access_hits(self):
+        bank = Bank(index=0)
+        bank.access_row(("data", 1))
+        assert bank.access_row(("data", 1)) is True
+        assert bank.row_hits == 1
+
+    def test_conflicting_row_replaces(self):
+        bank = Bank(index=0)
+        bank.access_row(("data", 1))
+        assert bank.access_row(("data", 2)) is False
+        assert bank.access_row(("data", 1)) is False  # evicted earlier
+        assert bank.row_misses == 3
+
+    def test_metadata_and_data_rows_distinct(self):
+        bank = Bank(index=0)
+        bank.access_row(("data", 5))
+        assert bank.access_row(("meta", 5)) is False

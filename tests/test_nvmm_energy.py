@@ -1,0 +1,46 @@
+"""Tests for the energy accounting model."""
+
+import pytest
+
+from repro.nvmm.energy import EnergyAccount, EnergyCategory
+
+
+class TestEnergyAccount:
+    def test_charge_and_get(self):
+        acct = EnergyAccount()
+        acct.charge(EnergyCategory.PCM_WRITE, 6.75)
+        acct.charge(EnergyCategory.PCM_WRITE, 6.75)
+        assert acct.get(EnergyCategory.PCM_WRITE) == 13.5
+
+    def test_total(self):
+        acct = EnergyAccount()
+        acct.charge(EnergyCategory.PCM_READ, 1.49)
+        acct.charge(EnergyCategory.ENCRYPTION, 2.1)
+        assert acct.total_nj() == pytest.approx(3.59)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().charge(EnergyCategory.PCM_READ, -1.0)
+
+    def test_breakdown_has_all_categories(self):
+        acct = EnergyAccount()
+        acct.charge(EnergyCategory.FINGERPRINT, 4.6)
+        bd = acct.breakdown()
+        assert bd["fingerprint"] == 4.6
+        assert bd["pcm_write"] == 0.0
+        assert set(bd) == {c.value for c in EnergyCategory}
+
+    def test_merged_with(self):
+        a = EnergyAccount()
+        a.charge(EnergyCategory.PCM_READ, 1.0)
+        b = EnergyAccount()
+        b.charge(EnergyCategory.PCM_READ, 2.0)
+        b.charge(EnergyCategory.DECRYPTION, 3.0)
+        merged = a.merged_with(b)
+        assert merged.get(EnergyCategory.PCM_READ) == 3.0
+        assert merged.get(EnergyCategory.DECRYPTION) == 3.0
+        # Originals untouched.
+        assert a.get(EnergyCategory.PCM_READ) == 1.0
+
+    def test_empty_total(self):
+        assert EnergyAccount().total_nj() == 0.0

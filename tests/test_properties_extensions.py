@@ -1,0 +1,133 @@
+"""Property-based tests for the extension modules.
+
+Hypothesis sweeps over the newer substrates: ESD-Delta's read-after-write
+correctness under arbitrary near-duplicate interleavings, split-counter
+round-trips under any write sequence, Start-Gap translation invariants
+under random move schedules, and mix/phase stream structure.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import small_test_config
+from repro.common.types import AccessType, CACHE_LINE_SIZE, MemoryRequest
+from repro.core.esd_delta import ESDDeltaScheme
+from repro.crypto.split_counters import (
+    SplitCounterConfig,
+    SplitCounterModeEngine,
+)
+from repro.nvmm.wearlevel import StartGapWearLeveler, WearLevelerConfig
+from repro.workloads.mixes import MixedTraceGenerator
+from repro.workloads.phases import PhasedTraceGenerator
+
+WORDS = st.binary(min_size=8, max_size=8)
+
+
+class TestESDDeltaProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 7),          # logical line
+                  st.integers(0, 3),          # base content id
+                  st.integers(0, 7),          # mutated word index
+                  WORDS),                     # mutation payload
+        min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_read_after_write_with_near_duplicates(self, ops):
+        """Arbitrary near-duplicate interleavings never lose data."""
+        scheme = ESDDeltaScheme(small_test_config())
+        bases = [bytes([b]) * CACHE_LINE_SIZE for b in (1, 2, 3, 4)]
+        shadow = {}
+        t = 0.0
+        for line, base_id, word, payload in ops:
+            t += 300.0
+            data = bytearray(bases[base_id])
+            data[word * 8:(word + 1) * 8] = payload
+            data = bytes(data)
+            addr = line * 64
+            scheme.handle_write(MemoryRequest(
+                address=addr, access=AccessType.WRITE, data=data,
+                issue_time_ns=t))
+            shadow[addr] = data
+        t += 1000.0
+        for addr, expected in shadow.items():
+            result = scheme.handle_read(MemoryRequest(
+                address=addr, access=AccessType.READ, issue_time_ns=t))
+            assert result.data == expected
+
+
+class TestSplitCounterProperties:
+    @given(st.lists(st.tuples(st.integers(0, 127), WORDS),
+                    min_size=1, max_size=80),
+           st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_under_any_write_sequence(self, ops, minor_bits):
+        engine = SplitCounterModeEngine(
+            config=SplitCounterConfig(minor_bits=minor_bits))
+        latest = {}
+        for line, word in ops:
+            plaintext = word * 8
+            engine.encrypt(plaintext, line)
+            latest[line] = plaintext
+        for line, plaintext in latest.items():
+            assert engine.decrypt(line) == plaintext
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_counters_never_decrease_within_major(self, lines):
+        table_cfg = SplitCounterConfig(minor_bits=7)
+        from repro.crypto.split_counters import SplitCounterTable
+        table = SplitCounterTable(table_cfg)
+        last = {}
+        for line in lines:
+            major, minor = table.advance(line)
+            if line in last:
+                prev_major, prev_minor = last[line]
+                assert (major, minor) > (prev_major, 0)
+                if major == prev_major:
+                    assert minor == prev_minor + 1
+            last[line] = (major, minor)
+
+
+class TestWearLevelerProperties:
+    @given(st.integers(2, 64), st.integers(1, 10), st.integers(1, 300))
+    @settings(max_examples=40)
+    def test_translation_always_injective(self, frames, interval, writes):
+        wl = StartGapWearLeveler(
+            frames, WearLevelerConfig(gap_move_interval=interval))
+        for _ in range(writes):
+            wl.record_write()
+            mapping = [wl.translate(i) for i in range(frames)]
+            assert len(set(mapping)) == frames
+            assert all(0 <= p <= frames for p in mapping)
+
+
+class TestMixProperties:
+    @given(st.lists(st.sampled_from(["gcc", "lbm", "namd", "x264"]),
+                    min_size=1, max_size=4, unique=True),
+           st.integers(50, 400))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_merged_stream_structure(self, apps, count):
+        gen = MixedTraceGenerator(apps, seed=3)
+        trace = gen.generate_list(count)
+        assert len(trace) == count
+        times = [r.issue_time_ns for r in trace]
+        assert times == sorted(times)
+        assert {r.core for r in trace} <= set(range(len(apps)))
+
+
+class TestPhaseProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["gcc", "deepsjeng", "namd"]),
+                              st.integers(20, 200)),
+                    min_size=1, max_size=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_clock_and_seq_monotonic(self, phase_specs):
+        gen = PhasedTraceGenerator(phase_specs, seed=5)
+        trace = gen.generate_list()
+        assert len(trace) == sum(n for _, n in phase_specs)
+        times = [r.issue_time_ns for r in trace]
+        seqs = [r.seq for r in trace]
+        assert times == sorted(times)
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)

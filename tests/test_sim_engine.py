@@ -1,0 +1,104 @@
+"""Tests for the simulation engine (throttling, warm-up, integrity)."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.common.types import AccessType, MemoryRequest
+from repro.dedup import make_scheme
+from repro.sim.engine import EngineConfig, SimulationEngine
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_outstanding=0)
+        with pytest.raises(ValueError):
+            EngineConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(max_latency_samples=0)
+
+
+class TestRun:
+    def test_counts_post_warmup_requests(self, config, small_trace):
+        engine = SimulationEngine(make_scheme("Baseline", config),
+                                  EngineConfig(warmup_fraction=0.5))
+        result = engine.run(iter(small_trace), app="gcc",
+                            total_hint=len(small_trace))
+        recorded = result.writes + result.reads
+        assert recorded == len(small_trace) - len(small_trace) // 2
+
+    def test_zero_warmup_records_everything(self, config, small_trace):
+        engine = SimulationEngine(make_scheme("Baseline", config),
+                                  EngineConfig(warmup_fraction=0.0))
+        result = engine.run(iter(small_trace), app="gcc",
+                            total_hint=len(small_trace))
+        assert result.writes + result.reads == len(small_trace)
+
+    def test_result_fields_populated(self, config, small_trace):
+        engine = SimulationEngine(make_scheme("ESD", config))
+        result = engine.run(iter(small_trace), app="gcc",
+                            total_hint=len(small_trace))
+        assert result.app == "gcc"
+        assert result.scheme == "ESD"
+        assert result.mean_write_latency_ns > 0
+        assert result.mean_read_latency_ns > 0
+        assert result.total_energy_nj > 0
+        assert result.ipc > 0
+        assert result.metadata is not None
+        assert "efit_hit_rate" in result.extras
+
+    def test_dedup_reduces_pcm_writes(self, config, write_heavy_trace):
+        base = SimulationEngine(make_scheme("Baseline", config)).run(
+            iter(write_heavy_trace), app="lbm",
+            total_hint=len(write_heavy_trace))
+        esd = SimulationEngine(make_scheme("ESD", config)).run(
+            iter(write_heavy_trace), app="lbm",
+            total_hint=len(write_heavy_trace))
+        assert esd.pcm_data_writes < base.pcm_data_writes
+
+    def test_throttling_bounds_latency_growth(self, config):
+        """A tiny outstanding window keeps latencies near service times."""
+        from repro.workloads import TraceGenerator
+        trace = TraceGenerator("lbm", seed=3).generate_list(2_000)
+        tight = SimulationEngine(
+            make_scheme("Dedup_SHA1", config),
+            EngineConfig(max_outstanding=4)).run(
+                iter(trace), app="lbm", total_hint=len(trace))
+        loose = SimulationEngine(
+            make_scheme("Dedup_SHA1", config),
+            EngineConfig(max_outstanding=100_000)).run(
+                iter(trace), app="lbm", total_hint=len(trace))
+        assert tight.mean_write_latency_ns <= loose.mean_write_latency_ns
+
+
+class TestIntegrity:
+    def test_detects_corrupting_scheme(self, config):
+        """A deliberately broken scheme must trip the integrity check."""
+        scheme = make_scheme("Baseline", config)
+        original = scheme.handle_read
+
+        def corrupted_read(request):
+            result = original(request)
+            from repro.dedup.base import ReadResult
+            bad = bytes(64) if result.data != bytes(64) else b"\x01" * 64
+            return ReadResult(data=bad, completion_ns=result.completion_ns,
+                              latency_ns=result.latency_ns)
+
+        scheme.handle_read = corrupted_read
+        requests = [
+            MemoryRequest(address=0, access=AccessType.WRITE,
+                          data=bytes(range(64)), issue_time_ns=0.0, seq=1),
+            MemoryRequest(address=0, access=AccessType.READ,
+                          issue_time_ns=1000.0, seq=2),
+        ]
+        engine = SimulationEngine(scheme, EngineConfig(warmup_fraction=0.0))
+        with pytest.raises(IntegrityError):
+            engine.run(iter(requests), app="x")
+
+    @pytest.mark.parametrize("scheme_name",
+                             ["Baseline", "Dedup_SHA1", "DeWrite", "ESD"])
+    def test_all_schemes_pass_integrity(self, config, small_trace,
+                                        scheme_name):
+        engine = SimulationEngine(make_scheme(scheme_name, config))
+        engine.run(iter(small_trace), app="gcc",
+                   total_hint=len(small_trace))  # raises on violation

@@ -1,0 +1,86 @@
+"""Tests for result serialization (JSON/CSV export)."""
+
+import json
+
+import pytest
+
+from repro.sim.export import (
+    CSV_COLUMNS,
+    csv_string,
+    grid_to_dict,
+    read_json,
+    result_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.sim.runner import ExperimentConfig, run_grid
+
+
+@pytest.fixture(scope="module")
+def grid(request):
+    from repro.common import small_test_config
+    cfg = ExperimentConfig(apps=["gcc"], schemes=["Baseline", "ESD"],
+                           requests_per_app=1_500,
+                           system=small_test_config())
+    return run_grid(cfg)
+
+
+class TestResultToDict:
+    def test_structure(self, grid):
+        d = result_to_dict(grid[("gcc", "ESD")])
+        assert d["app"] == "gcc"
+        assert d["scheme"] == "ESD"
+        assert d["latency_ns"]["write_p99"] >= d["latency_ns"]["write_p50"]
+        assert "efit_hit_rate" in d["extras"]
+        assert "write_path_profile" in d
+        assert d["metadata_bytes"]["nvmm"] >= 0
+
+    def test_json_serializable(self, grid):
+        for result in grid.values():
+            json.dumps(result_to_dict(result))
+
+    def test_energy_breakdown_present(self, grid):
+        d = result_to_dict(grid[("gcc", "Baseline")])
+        assert d["energy_nj"]["pcm_write"] > 0
+        assert d["energy_total_nj"] == pytest.approx(
+            sum(d["energy_nj"].values()))
+
+
+class TestJSONRoundtrip:
+    def test_write_and_read(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        write_json(grid, path)
+        loaded = read_json(path)
+        assert len(loaded["results"]) == len(grid)
+        schemes = {r["scheme"] for r in loaded["results"]}
+        assert schemes == {"Baseline", "ESD"}
+
+    def test_single_result(self, grid, tmp_path):
+        path = tmp_path / "one.json"
+        write_json(grid[("gcc", "ESD")], path)
+        loaded = read_json(path)
+        assert loaded["scheme"] == "ESD"
+
+    def test_grid_to_dict(self, grid):
+        d = grid_to_dict(grid)
+        assert len(d["results"]) == 2
+
+
+class TestCSV:
+    def test_write_csv(self, grid, tmp_path):
+        path = tmp_path / "grid.csv"
+        rows = write_csv(grid, path)
+        assert rows == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        assert len(lines) == 3
+
+    def test_csv_string_parsable(self, grid):
+        import csv as csv_mod
+        import io
+        text = csv_string(grid)
+        parsed = list(csv_mod.reader(io.StringIO(text)))
+        assert parsed[0] == CSV_COLUMNS
+        for row in parsed[1:]:
+            assert len(row) == len(CSV_COLUMNS)
+            float(row[CSV_COLUMNS.index("write_mean_ns")])

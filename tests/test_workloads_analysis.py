@@ -1,0 +1,104 @@
+"""Tests for workload-characteristics analysis (Figures 1 and 3)."""
+
+import pytest
+
+from repro.common.types import AccessType, MemoryRequest, ZERO_LINE
+from repro.workloads.analysis import (
+    BUCKETS,
+    bucket_for_count,
+    content_locality_headline,
+    duplicate_rate,
+    duplicate_stats,
+    reference_count_distribution,
+)
+
+
+def write(addr, data, seq=0):
+    return MemoryRequest(address=addr, access=AccessType.WRITE, data=data,
+                         seq=seq)
+
+
+def read(addr):
+    return MemoryRequest(address=addr, access=AccessType.READ)
+
+
+LINE_A = b"\x01" * 64
+LINE_B = b"\x02" * 64
+
+
+class TestBucketForCount:
+    @pytest.mark.parametrize("count,bucket", [
+        (1, "num1"), (2, "num10"), (10, "num10"), (11, "num100"),
+        (100, "num100"), (101, "num1000"), (1000, "num1000"),
+        (1001, "num1000+"), (50_000, "num1000+")])
+    def test_boundaries(self, count, bucket):
+        assert bucket_for_count(count) == bucket
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bucket_for_count(0)
+
+
+class TestDuplicateStats:
+    def test_no_duplicates(self):
+        stats = duplicate_stats([write(0, LINE_A), write(64, LINE_B)])
+        assert stats.duplicate_rate == 0.0
+        assert stats.unique_contents == 2
+
+    def test_all_duplicates_after_first(self):
+        reqs = [write(i * 64, LINE_A) for i in range(4)]
+        stats = duplicate_stats(reqs)
+        assert stats.duplicate_writes == 3
+        assert stats.duplicate_rate == 0.75
+
+    def test_zero_duplicates_tracked(self):
+        reqs = [write(0, ZERO_LINE), write(64, ZERO_LINE), write(128, LINE_A),
+                write(192, LINE_A)]
+        stats = duplicate_stats(reqs)
+        assert stats.zero_duplicate_writes == 1
+        assert stats.zero_share_of_duplicates == 0.5
+
+    def test_reads_ignored(self):
+        assert duplicate_rate([read(0), write(0, LINE_A), read(64)]) == 0.0
+
+    def test_empty(self):
+        stats = duplicate_stats([])
+        assert stats.duplicate_rate == 0.0
+        assert stats.zero_share_of_duplicates == 0.0
+
+
+class TestReferenceDistribution:
+    def test_buckets(self):
+        reqs = ([write(0, LINE_A)]                       # num1
+                + [write(64, LINE_B)] * 5                # num10
+                + [write(128, ZERO_LINE)] * 50)          # num100
+        dist = reference_count_distribution(reqs)
+        assert dist.unique_lines["num1"] == 1
+        assert dist.unique_lines["num10"] == 1
+        assert dist.unique_lines["num100"] == 1
+        assert dist.total_unique == 3
+        assert dist.total_volume == 56
+        assert dist.volume["num100"] == 50
+
+    def test_shares_sum_to_one(self):
+        reqs = [write(0, LINE_A)] * 3 + [write(64, LINE_B)]
+        dist = reference_count_distribution(reqs)
+        assert sum(dist.unique_share(b) for b in BUCKETS) == pytest.approx(1.0)
+        assert sum(dist.volume_share(b) for b in BUCKETS) == pytest.approx(1.0)
+
+    def test_headline(self):
+        reqs = [write(0, ZERO_LINE)] * 1500 + [write(64, LINE_A)]
+        dist = reference_count_distribution(reqs)
+        unique_share, volume_share = content_locality_headline(dist)
+        assert unique_share == pytest.approx(0.5)
+        assert volume_share == pytest.approx(1500 / 1501)
+
+    def test_empty_distribution(self):
+        dist = reference_count_distribution([])
+        assert dist.total_unique == 0
+        assert dist.unique_share("num1") == 0.0
+
+    def test_rows_ordering(self):
+        dist = reference_count_distribution([write(0, LINE_A)])
+        rows = dist.as_rows()
+        assert [r[0] for r in rows] == list(BUCKETS)

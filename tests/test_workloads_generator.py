@@ -1,0 +1,137 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import CACHE_LINE_SIZE, AccessType
+from repro.workloads.analysis import duplicate_stats
+from repro.workloads.generator import CPUAccessGenerator, TraceGenerator, ZipfSampler
+from repro.workloads.profiles import get_profile
+
+
+class TestZipfSampler:
+    def test_empty_sampler_rejects(self):
+        s = ZipfSampler(1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            s.sample()
+
+    def test_add_returns_index(self):
+        s = ZipfSampler(1.0, np.random.default_rng(0))
+        assert s.add_item() == 0
+        assert s.add_item() == 1
+        assert len(s) == 2
+
+    def test_skew_favours_early_items(self):
+        rng = np.random.default_rng(0)
+        s = ZipfSampler(1.2, rng)
+        for _ in range(100):
+            s.add_item()
+        draws = [s.sample() for _ in range(5000)]
+        first_half = sum(1 for d in draws if d < 50)
+        assert first_half > len(draws) * 0.6
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0.0, np.random.default_rng(0))
+
+
+class TestTraceGenerator:
+    def test_accepts_profile_name(self):
+        gen = TraceGenerator("gcc")
+        assert gen.profile.name == "gcc"
+
+    def test_request_count(self):
+        trace = TraceGenerator("gcc").generate_list(500)
+        assert len(trace) == 500
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            TraceGenerator("gcc").generate_list(0)
+
+    def test_requests_well_formed(self):
+        for req in TraceGenerator("x264").generate_list(300):
+            assert req.address % CACHE_LINE_SIZE == 0
+            if req.access is AccessType.WRITE:
+                assert len(req.data) == CACHE_LINE_SIZE
+            else:
+                assert req.data is None
+
+    def test_issue_times_monotone(self):
+        trace = TraceGenerator("gcc").generate_list(300)
+        times = [r.issue_time_ns for r in trace]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_deterministic_with_seed(self):
+        a = TraceGenerator("gcc", seed=5).generate_list(200)
+        b = TraceGenerator("gcc", seed=5).generate_list(200)
+        assert [(r.address, r.access, r.data) for r in a] == \
+               [(r.address, r.access, r.data) for r in b]
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator("gcc", seed=5).generate_list(200)
+        b = TraceGenerator("gcc", seed=6).generate_list(200)
+        assert [(r.address, r.data) for r in a] != \
+               [(r.address, r.data) for r in b]
+
+    def test_different_apps_differ(self):
+        a = TraceGenerator("gcc", seed=5).generate_list(100)
+        b = TraceGenerator("lbm", seed=5).generate_list(100)
+        assert [(r.address, r.access) for r in a] != \
+               [(r.address, r.access) for r in b]
+
+    def test_addresses_within_working_set(self):
+        profile = get_profile("gcc")
+        trace = TraceGenerator(profile).generate_list(1000)
+        limit = profile.working_set_lines * CACHE_LINE_SIZE
+        assert all(r.address < limit for r in trace)
+
+
+class TestCalibratedStatistics:
+    @pytest.mark.parametrize("app", ["gcc", "deepsjeng", "lbm", "namd"])
+    def test_duplicate_rate_close_to_profile(self, app):
+        profile = get_profile(app)
+        trace = TraceGenerator(app, seed=1).generate_list(12_000)
+        measured = duplicate_stats(trace).duplicate_rate
+        assert abs(measured - profile.duplicate_rate) < 0.06
+
+    def test_read_fraction_close_to_profile(self):
+        profile = get_profile("gcc")
+        trace = TraceGenerator("gcc", seed=1).generate_list(8_000)
+        reads = sum(1 for r in trace if r.is_read)
+        assert abs(reads / len(trace) - profile.read_fraction) < 0.05
+
+    def test_zero_lines_dominate_deepsjeng_duplicates(self):
+        trace = TraceGenerator("deepsjeng", seed=1).generate_list(8_000)
+        stats = duplicate_stats(trace)
+        assert stats.zero_share_of_duplicates > 0.7
+
+    def test_reads_mostly_hit_written_addresses(self):
+        trace = TraceGenerator("gcc", seed=1).generate_list(5_000)
+        written = set()
+        read_hits = reads = 0
+        for req in trace:
+            if req.is_write:
+                written.add(req.address)
+            else:
+                reads += 1
+                read_hits += req.address in written
+        assert read_hits / reads > 0.8
+
+
+class TestCPUAccessGenerator:
+    def test_yields_requested_count(self):
+        gen = CPUAccessGenerator("gcc", seed=2)
+        accesses = list(gen.generate(500))
+        assert len(accesses) == 500
+
+    def test_rereference_creates_locality(self):
+        gen = CPUAccessGenerator("gcc", seed=2)
+        accesses = list(gen.generate(2000, rereference_prob=0.7))
+        addresses = [a.address for a in accesses]
+        assert len(set(addresses)) < len(addresses) * 0.8
+
+    def test_validation(self):
+        gen = CPUAccessGenerator("gcc")
+        with pytest.raises(ValueError):
+            list(gen.generate(10, rereference_prob=1.5))

@@ -1,0 +1,101 @@
+"""Tests for multiprogrammed workload mixes."""
+
+import pytest
+
+from repro.common.types import CACHE_LINE_SIZE
+from repro.workloads.mixes import (
+    CANONICAL_MIXES,
+    MixedTraceGenerator,
+    MixSpec,
+    make_mix,
+)
+
+
+class TestMixSpec:
+    def test_valid(self):
+        MixSpec(app="gcc", core=0)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            MixSpec(app="quake", core=0)
+
+    def test_negative_core(self):
+        with pytest.raises(ValueError):
+            MixSpec(app="gcc", core=-1)
+
+
+class TestMixedTraceGenerator:
+    def test_request_count(self):
+        gen = MixedTraceGenerator(["gcc", "lbm"], seed=3)
+        assert len(gen.generate_list(1_000)) == 1_000
+
+    def test_issue_times_sorted(self):
+        gen = MixedTraceGenerator(["gcc", "lbm", "namd"], seed=3)
+        trace = gen.generate_list(1_500)
+        times = [r.issue_time_ns for r in trace]
+        assert times == sorted(times)
+
+    def test_address_spaces_disjoint(self):
+        gen = MixedTraceGenerator(["gcc", "deepsjeng"], seed=3)
+        trace = gen.generate_list(3_000)
+        # gcc gets [0, 65536) lines (48000 rounded up); deepsjeng starts
+        # at the boundary.
+        boundary = 65536 * CACHE_LINE_SIZE
+        gcc_addrs = {r.address for r in trace if r.core == 0}
+        other_addrs = {r.address for r in trace if r.core == 1}
+        assert all(a < boundary for a in gcc_addrs)
+        assert all(a >= boundary for a in other_addrs)
+        assert not (gcc_addrs & other_addrs)
+
+    def test_core_binding(self):
+        specs = [MixSpec(app="gcc", core=3), MixSpec(app="lbm", core=5)]
+        gen = MixedTraceGenerator(specs, seed=3)
+        cores = {r.core for r in gen.generate_list(500)}
+        assert cores <= {3, 5}
+
+    def test_all_apps_contribute(self):
+        gen = MixedTraceGenerator(["gcc", "lbm", "namd", "x264"], seed=3)
+        trace = gen.generate_list(4_000)
+        assert len({r.core for r in trace}) == 4
+
+    def test_deterministic(self):
+        a = MixedTraceGenerator(["gcc", "lbm"], seed=9).generate_list(800)
+        b = MixedTraceGenerator(["gcc", "lbm"], seed=9).generate_list(800)
+        assert [(r.address, r.data) for r in a] == \
+               [(r.address, r.data) for r in b]
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            MixedTraceGenerator([])
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            MixedTraceGenerator(["gcc"]).generate_list(0)
+
+
+class TestMakeMix:
+    def test_canonical_names(self):
+        for name in CANONICAL_MIXES:
+            gen = make_mix(name, seed=1)
+            assert len(gen.specs) == len(CANONICAL_MIXES[name])
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_mix("mix_doom")
+
+    def test_explicit_apps(self):
+        gen = make_mix(["gcc", "namd"])
+        assert [s.app for s in gen.specs] == ["gcc", "namd"]
+
+
+class TestMixThroughSimulation:
+    def test_mix_runs_through_esd_with_integrity(self):
+        from repro.common import small_test_config
+        from repro.dedup import make_scheme
+        from repro.sim import SimulationEngine
+        trace = make_mix(["gcc", "deepsjeng"], seed=5).generate_list(2_000)
+        engine = SimulationEngine(make_scheme("ESD", small_test_config()))
+        result = engine.run(iter(trace), app="mix", total_hint=len(trace))
+        assert result.writes > 0
+        # The high-dup co-runner makes dedup visible on the merged stream.
+        assert result.write_reduction > 0.3

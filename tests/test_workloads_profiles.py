@@ -1,0 +1,107 @@
+"""Tests for the 20 application profiles."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    TAIL_LATENCY_APPS,
+    WORST_CASE_APPS,
+    WorkloadProfile,
+    app_names,
+    get_profile,
+    mean_duplicate_rate,
+)
+
+
+class TestRoster:
+    def test_twenty_applications(self):
+        assert len(ALL_PROFILES) == 20
+        assert len(SPEC_PROFILES) == 12
+        assert len(PARSEC_PROFILES) == 8
+
+    def test_names_unique(self):
+        names = app_names()
+        assert len(set(names)) == 20
+
+    def test_paper_applications_present(self):
+        expected_spec = {"cactuBSSN", "deepsjeng", "gcc", "imagick", "lbm",
+                         "leela", "mcf", "nab", "namd", "roms", "wrf",
+                         "xalancbmk"}
+        expected_parsec = {"blackscholes", "bodytrack", "dedup", "facesim",
+                           "fluidanimate", "rtview", "swaptions", "x264"}
+        assert {p.name for p in SPEC_PROFILES} == expected_spec
+        assert {p.name for p in PARSEC_PROFILES} == expected_parsec
+
+    def test_tail_latency_apps_match_figure_15(self):
+        assert set(TAIL_LATENCY_APPS) == {"gcc", "leela", "bodytrack",
+                                          "dedup", "facesim", "fluidanimate",
+                                          "wrf", "x264"}
+
+    def test_worst_case_apps_match_figure_2(self):
+        assert set(WORST_CASE_APPS) == {"leela", "lbm"}
+
+
+class TestCalibration:
+    def test_mean_duplicate_rate_near_paper(self):
+        # The paper reports 62.9% across the 20 applications.
+        assert abs(mean_duplicate_rate() - 0.629) < 0.02
+
+    def test_range_matches_paper(self):
+        rates = [p.duplicate_rate for p in ALL_PROFILES]
+        assert min(rates) == pytest.approx(0.331)  # namd floor
+        assert max(rates) == pytest.approx(0.999)  # deepsjeng/roms ceiling
+
+    def test_zero_dominated_apps(self):
+        # The paper: deepsjeng and roms duplicates are largely zero lines.
+        assert get_profile("deepsjeng").zero_fraction > 0.8
+        assert get_profile("roms").zero_fraction > 0.8
+
+    def test_lbm_is_nonzero_dup_heavy_and_predictable(self):
+        lbm = get_profile("lbm")
+        assert lbm.zero_fraction < 0.1
+        assert lbm.duplicate_rate > 0.8
+        assert lbm.dup_burstiness > 0.9
+
+
+class TestLookup:
+    def test_get_profile(self):
+        assert get_profile("gcc").name == "gcc"
+
+    def test_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+
+class TestValidation:
+    def _base(self, **kwargs):
+        defaults = dict(name="t", suite="spec2017", duplicate_rate=0.5,
+                        zero_fraction=0.3, locality_skew=1.0,
+                        dup_burstiness=0.5, read_fraction=0.5,
+                        working_set_lines=1000, instructions_per_access=100,
+                        mean_interarrival_ns=50.0)
+        defaults.update(kwargs)
+        return WorkloadProfile(**defaults)
+
+    def test_valid(self):
+        self._base()
+
+    def test_bad_suite(self):
+        with pytest.raises(ConfigError):
+            self._base(suite="tpc")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            self._base(duplicate_rate=1.5)
+        with pytest.raises(ConfigError):
+            self._base(tail_dup_fraction=-0.1)
+
+    def test_positive_fields(self):
+        with pytest.raises(ConfigError):
+            self._base(locality_skew=0)
+        with pytest.raises(ConfigError):
+            self._base(working_set_lines=0)
+        with pytest.raises(ConfigError):
+            self._base(mean_interarrival_ns=0)

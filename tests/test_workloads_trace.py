@@ -1,0 +1,83 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.common.types import AccessType, MemoryRequest
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.trace import (
+    MAGIC,
+    read_trace_list,
+    roundtrip_bytes,
+    write_trace,
+)
+
+
+def sample_requests():
+    return [
+        MemoryRequest(address=0, access=AccessType.WRITE,
+                      data=bytes(range(64)), issue_time_ns=1.5, core=2, seq=1),
+        MemoryRequest(address=128, access=AccessType.READ,
+                      issue_time_ns=3.25, core=0, seq=2),
+    ]
+
+
+class TestRoundtrip:
+    def test_simple_roundtrip(self):
+        original = sample_requests()
+        restored = roundtrip_bytes(original)
+        assert len(restored) == 2
+        for a, b in zip(original, restored):
+            assert a.address == b.address
+            assert a.access == b.access
+            assert a.data == b.data
+            assert a.issue_time_ns == b.issue_time_ns
+            assert a.core == b.core
+            assert a.seq == b.seq
+
+    def test_generated_trace_roundtrip(self):
+        original = TraceGenerator("gcc", seed=3).generate_list(400)
+        restored = roundtrip_bytes(original)
+        assert [(r.address, r.access, r.data, r.seq) for r in original] == \
+               [(r.address, r.access, r.data, r.seq) for r in restored]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.esd"
+        original = TraceGenerator("x264", seed=3).generate_list(100)
+        count = write_trace(original, path)
+        assert count == 100
+        restored = read_trace_list(path)
+        assert len(restored) == 100
+        assert restored[0].address == original[0].address
+
+    def test_empty_trace(self):
+        assert roundtrip_bytes([]) == []
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        buf = io.BytesIO(b"NOTATRACE" + bytes(32))
+        with pytest.raises(TraceFormatError):
+            read_trace_list(buf)
+
+    def test_truncated_header(self):
+        buf = io.BytesIO(MAGIC)
+        with pytest.raises(TraceFormatError):
+            read_trace_list(buf)
+
+    def test_truncated_record(self):
+        buf = io.BytesIO()
+        write_trace(sample_requests(), buf)
+        data = buf.getvalue()[:-10]
+        with pytest.raises(TraceFormatError):
+            read_trace_list(io.BytesIO(data))
+
+    def test_bad_version(self):
+        buf = io.BytesIO()
+        write_trace([], buf)
+        raw = bytearray(buf.getvalue())
+        raw[8] = 99  # version field
+        with pytest.raises(TraceFormatError):
+            read_trace_list(io.BytesIO(bytes(raw)))
