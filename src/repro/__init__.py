@@ -13,6 +13,8 @@ Mao, and Wang.  The package contains:
   :mod:`repro.cache` (3-level hierarchy + IPC model),
   :mod:`repro.workloads` (20 calibrated application profiles + generator).
 * :mod:`repro.sim` — the trace-driven engine and experiment runner.
+* :mod:`repro.sweep` — parallel sweep orchestration: process-pool
+  scheduler, content-addressed result store, resumable checkpoints.
 * :mod:`repro.analysis` — one reproduction function per paper figure.
 
 Quickstart::
@@ -54,6 +56,7 @@ from .sim import (
     run_grid,
     scaled_system_config,
 )
+from .sweep import run_sweep
 from .workloads import TraceGenerator, app_names, get_profile
 
 __version__ = "1.0.0"
@@ -88,6 +91,7 @@ __all__ = [
     "make_scheme",
     "run_app",
     "run_grid",
+    "run_sweep",
     "scaled_system_config",
     "small_test_config",
 ]

@@ -291,8 +291,16 @@ def run_evaluation_grid(apps: Optional[Sequence[str]] = None,
                         requests: int = 20_000,
                         system: Optional[SystemConfig] = None,
                         engine: Optional[EngineConfig] = None,
-                        seed: int = 2023) -> ResultGrid:
-    """The (apps x 4 schemes) grid most evaluation figures read from."""
+                        seed: int = 2023,
+                        jobs: Optional[int] = None,
+                        store=None) -> ResultGrid:
+    """The (apps x 4 schemes) grid most evaluation figures read from.
+
+    ``jobs``/``store`` route the grid through the ``repro.sweep``
+    orchestrator (parallel workers, content-addressed result cache); the
+    default stays serial and in-process.  Both paths produce byte-identical
+    grids.
+    """
     config = ExperimentConfig(
         apps=list(apps) if apps is not None else list(REPRESENTATIVE_APPS),
         schemes=list(SCHEME_NAMES),
@@ -300,6 +308,8 @@ def run_evaluation_grid(apps: Optional[Sequence[str]] = None,
         system=system or scaled_system_config(),
         engine=engine or EngineConfig(),
         seed=seed)
+    if jobs is not None or store is not None:
+        return run_grid(config, jobs=jobs, store=store)
     return run_grid(config)
 
 

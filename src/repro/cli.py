@@ -11,6 +11,8 @@ simulator:
     python -m repro.cli compare --app lbm --requests 15000
     python -m repro.cli gen-trace --app gcc --requests 5000 --out gcc.esdtrace
     python -m repro.cli figures --quick
+    python -m repro.cli sweep --apps gcc,lbm --schemes ESD,Baseline \
+        --jobs 8 --store .sweep_cache
 
 Scheme selection accepts both the paper's numeric codes and names.
 """
@@ -163,6 +165,75 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def _parse_sweep_apps(token: str) -> List[str]:
+    if token == "all":
+        return list(app_names())
+    apps = [t.strip() for t in token.split(",") if t.strip()]
+    unknown = [a for a in apps if a not in app_names()]
+    if unknown:
+        raise SystemExit(f"unknown application(s) {unknown}; "
+                         f"known: {', '.join(app_names())}")
+    if not apps:
+        raise SystemExit("--apps must name at least one application")
+    return apps
+
+
+def _parse_sweep_schemes(token: str) -> List[str]:
+    if token == "all":
+        return list(SCHEME_NAMES)
+    schemes = [resolve_scheme(t.strip())
+               for t in token.split(",") if t.strip()]
+    if not schemes:
+        raise SystemExit("--schemes must name at least one scheme")
+    # Preserve order, drop duplicates (e.g. "3,ESD").
+    return list(dict.fromkeys(schemes))
+
+
+def cmd_sweep(args) -> int:
+    """Orchestrated parallel grid run with a persistent result store."""
+    from .sim.export import write_json
+    from .sim.metrics import SUMMARY_METRICS
+    from .sim.runner import ExperimentConfig, grid_metric
+    from .common.errors import SweepError
+    from .sweep import run_sweep
+
+    # Validate the metric before any simulation runs: a typo'd metric name
+    # must not cost a full grid sweep.
+    if args.metric not in SUMMARY_METRICS:
+        raise SystemExit(f"unknown metric {args.metric!r}; known metrics: "
+                         f"{', '.join(SUMMARY_METRICS)}")
+    if args.jobs is not None and args.jobs <= 0:
+        raise SystemExit("--jobs must be positive")
+    if args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be non-negative")
+    apps = _parse_sweep_apps(args.apps)
+    schemes = _parse_sweep_schemes(args.schemes)
+    config = ExperimentConfig(apps=apps, schemes=schemes,
+                              requests_per_app=args.requests,
+                              system=_system_config(args), seed=args.seed)
+    try:
+        grid = run_sweep(config, jobs=args.jobs, store=args.store,
+                         job_timeout_s=args.timeout, retries=args.retries,
+                         progress=not args.quiet)
+    except SweepError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+
+    pivot = grid_metric(grid, args.metric)
+    rows = [[app] + [pivot[app][scheme] for scheme in schemes]
+            for app in apps]
+    print(format_table(
+        ["application"] + list(schemes), rows,
+        title=f"{args.metric} over {len(apps)} apps x "
+              f"{len(schemes)} schemes ({args.requests} requests)",
+        float_format="{:.4f}"))
+    if args.export:
+        write_json(grid, args.export)
+        print(f"wrote grid JSON to {args.export}")
+    return 0
+
+
 def cmd_validate(args) -> int:
     """Run the reproduction self-check; exit non-zero on failed claims."""
     from .analysis.validation import render_validation, validate
@@ -212,6 +283,37 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--quick", action="store_true",
                        help="4 apps / short traces")
     fig_p.set_defaults(func=cmd_figures)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="parallel grid run with a resumable result store")
+    sweep_p.add_argument("--apps", default="all",
+                         help="comma-separated applications, or 'all'")
+    sweep_p.add_argument("--schemes", default="all",
+                         help="comma-separated schemes (names or 0-3 codes), "
+                              "or 'all'")
+    sweep_p.add_argument("--requests", type=int, default=20_000,
+                         help="trace length per application (default: 20000)")
+    sweep_p.add_argument("--seed", type=int, default=2023)
+    sweep_p.add_argument("--efit-kb", type=int, default=None,
+                         help="EFIT / fingerprint cache size in KB")
+    sweep_p.add_argument("--amt-kb", type=int, default=None,
+                         help="AMT / mapping cache size in KB")
+    sweep_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: cpu count)")
+    sweep_p.add_argument("--store", default=None,
+                         help="result-store directory; re-runs resume from "
+                              "it (cache hit = no simulation)")
+    sweep_p.add_argument("--timeout", type=float, default=600.0,
+                         help="per-job wall-clock budget in seconds")
+    sweep_p.add_argument("--retries", type=int, default=2,
+                         help="extra attempts per job after a worker crash")
+    sweep_p.add_argument("--metric", default="write_latency_ns",
+                         help="summary metric for the printed pivot table")
+    sweep_p.add_argument("--export", default=None,
+                         help="also write the grid as JSON to this path")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress live progress lines")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     val_p = sub.add_parser("validate",
                            help="self-check the paper's headline claims")

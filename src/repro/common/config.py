@@ -18,6 +18,10 @@ Metadata cache            EFIT 512 KB, AMT 512 KB
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -230,6 +234,50 @@ class SystemConfig:
 
     def with_seed(self, seed: int) -> "SystemConfig":
         return replace(self, seed=seed)
+
+
+def _canonical(obj):
+    """Reduce a configuration value to a canonical JSON-compatible form.
+
+    Dataclasses are tagged with their class name so that two structurally
+    identical but semantically different configs never collide; floats rely
+    on CPython's shortest-round-trip ``repr`` (stable across processes and
+    platforms for IEEE-754 doubles).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__class__": type(obj).__name__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": bytes(obj).hex()}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    raise ConfigError(
+        f"cannot canonicalize {type(obj).__name__} for digesting")
+
+
+def config_digest(*objects) -> str:
+    """A stable SHA-256 hex digest of one or more configuration objects.
+
+    The digest is content-based (field names and values, recursively) and
+    identical across processes and machines, which makes it suitable as a
+    cache key: ``repro.sweep`` keys its persisted results by the digest of
+    (job parameters, SystemConfig, EngineConfig, CryptoCosts), so any
+    configuration change invalidates exactly the affected cells.
+    """
+    payload = json.dumps([_canonical(obj) for obj in objects],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def default_config() -> SystemConfig:

@@ -62,6 +62,15 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class SweepError(ReproError):
+    """An orchestrated experiment sweep could not complete.
+
+    Raised by :class:`repro.sweep.Scheduler` when one or more jobs still
+    fail after exhausting their retry budget; the exception message lists
+    the failed (app, scheme) cells and their last errors.
+    """
+
+
 class IntegrityError(SimulationError):
     """Read-back verification observed data different from what was written.
 

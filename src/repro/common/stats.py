@@ -177,6 +177,55 @@ class LatencyRecorder:
         """The retained (possibly subsampled) raw latency values."""
         return tuple(self._samples)
 
+    # ------------------------------------------------------------------
+    # Exact serialization (repro.sweep result store)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Full internal state as a JSON-serializable dict.
+
+        Round-tripping through :meth:`from_state` reconstructs a recorder
+        whose every observable statistic — mean, stddev, min/max, retained
+        samples, percentiles, CDFs — is bit-identical to the original, and
+        whose reservoir RNG would continue sampling identically.  This is
+        what lets the sweep result store replay cached results that are
+        byte-for-byte equal to a fresh simulation.
+        """
+        return {
+            "max_samples": self._max_samples,
+            "samples": list(self._samples),
+            "seen": self._seen,
+            "total_ns": self._total,
+            "min_ns": self._min if self._seen else None,
+            "max_ns": self._max if self._seen else None,
+            "running": {"count": self._running.count,
+                        "mean": self._running._mean,
+                        "m2": self._running._m2},
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "LatencyRecorder":
+        """Reconstruct a recorder from :meth:`state_dict` output."""
+        rec = cls(int(state["max_samples"]))
+        rec._samples = [float(x) for x in state["samples"]]
+        rec._seen = int(state["seen"])
+        rec._total = float(state["total_ns"])
+        rec._min = (float(state["min_ns"]) if state["min_ns"] is not None
+                    else math.inf)
+        rec._max = (float(state["max_ns"]) if state["max_ns"] is not None
+                    else -math.inf)
+        running = state["running"]
+        rec._running.count = int(running["count"])
+        rec._running._mean = float(running["mean"])
+        rec._running._m2 = float(running["m2"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            # JSON round-trips turn the nested state ints into ints already;
+            # numpy validates the bit-generator name on assignment.
+            rec._rng.bit_generator.state = rng_state
+        return rec
+
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean; the conventional average for speedup ratios."""

@@ -15,7 +15,9 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..common.types import WritePathStage
+from ..common.stats import LatencyRecorder
+from ..common.types import LatencyBreakdown, WritePathStage
+from ..dedup.base import MetadataFootprint
 from .metrics import SimulationResult
 from .runner import ResultGrid
 
@@ -127,3 +129,85 @@ def csv_string(grid: ResultGrid) -> str:
 def read_json(path: Union[str, Path]) -> Dict:
     """Load a previously exported JSON document."""
     return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Full-fidelity state serialization (repro.sweep result store)
+# ---------------------------------------------------------------------------
+#
+# ``result_to_dict`` above is a *reporting* view: it flattens derived
+# statistics and drops the raw samples.  The sweep result store instead needs
+# a lossless round trip — a cached cell must be indistinguishable from a
+# freshly simulated one, down to latency percentiles and CDF series — so
+# these helpers persist the complete internal state of a result.
+
+#: Version tag of the full-state layout; bump on incompatible changes so
+#: stale store entries read as cache misses instead of garbage.
+STATE_VERSION = 1
+
+
+def result_to_state(result: SimulationResult) -> Dict:
+    """Lossless JSON-serializable snapshot of one result."""
+    return {
+        "version": STATE_VERSION,
+        "app": result.app,
+        "scheme": result.scheme,
+        "write_latency": result.write_latency.state_dict(),
+        "read_latency": result.read_latency.state_dict(),
+        "writes": result.writes,
+        "reads": result.reads,
+        "dedup_eliminated": result.dedup_eliminated,
+        "pcm_data_writes": result.pcm_data_writes,
+        "pcm_metadata_writes": result.pcm_metadata_writes,
+        "pcm_data_reads": result.pcm_data_reads,
+        "pcm_metadata_reads": result.pcm_metadata_reads,
+        "energy_nj": dict(result.energy_nj),
+        "breakdown": (None if result.breakdown is None else
+                      {str(stage): ns
+                       for stage, ns in result.breakdown.by_stage.items()}),
+        "ipc": result.ipc,
+        "metadata": (None if result.metadata is None else
+                     {"onchip_bytes": result.metadata.onchip_bytes,
+                      "nvmm_bytes": result.metadata.nvmm_bytes}),
+        "extras": dict(result.extras),
+    }
+
+
+def result_from_state(state: Dict) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_state` output.
+
+    Raises:
+        ValueError: when the state's version tag is unknown (callers such
+            as the sweep store treat this as a cache miss).
+    """
+    version = state.get("version")
+    if version != STATE_VERSION:
+        raise ValueError(f"unsupported result-state version {version!r}")
+    breakdown = None
+    if state["breakdown"] is not None:
+        breakdown = LatencyBreakdown(by_stage={
+            WritePathStage(name): ns
+            for name, ns in state["breakdown"].items()})
+    metadata = None
+    if state["metadata"] is not None:
+        metadata = MetadataFootprint(
+            onchip_bytes=state["metadata"]["onchip_bytes"],
+            nvmm_bytes=state["metadata"]["nvmm_bytes"])
+    return SimulationResult(
+        app=state["app"],
+        scheme=state["scheme"],
+        write_latency=LatencyRecorder.from_state(state["write_latency"]),
+        read_latency=LatencyRecorder.from_state(state["read_latency"]),
+        writes=state["writes"],
+        reads=state["reads"],
+        dedup_eliminated=state["dedup_eliminated"],
+        pcm_data_writes=state["pcm_data_writes"],
+        pcm_metadata_writes=state["pcm_metadata_writes"],
+        pcm_data_reads=state["pcm_data_reads"],
+        pcm_metadata_reads=state["pcm_metadata_reads"],
+        energy_nj=dict(state["energy_nj"]),
+        breakdown=breakdown,
+        ipc=state["ipc"],
+        metadata=metadata,
+        extras=dict(state["extras"]),
+    )

@@ -16,6 +16,21 @@ from ..common.types import LatencyBreakdown, WritePathStage
 from ..dedup.base import DedupScheme, MetadataFootprint
 
 
+#: Metric names served by :meth:`SimulationResult.summary_row`, in row
+#: order.  The single source of truth for metric-name validation (the sweep
+#: CLI and :func:`repro.sim.runner.grid_metric` both check against this
+#: before running anything expensive).
+SUMMARY_METRICS: Tuple[str, ...] = (
+    "write_latency_ns",
+    "read_latency_ns",
+    "write_p99_ns",
+    "write_reduction",
+    "energy_nj",
+    "ipc",
+    "pcm_data_writes",
+)
+
+
 @dataclass
 class SimulationResult:
     """Measured outcome of driving one scheme with one application trace."""
@@ -80,7 +95,7 @@ class SimulationResult:
         return self.write_latency.cdf(points)
 
     def summary_row(self) -> Dict[str, float]:
-        """Flat dict for tabular reporting."""
+        """Flat dict for tabular reporting (keys = :data:`SUMMARY_METRICS`)."""
         return {
             "write_latency_ns": self.mean_write_latency_ns,
             "read_latency_ns": self.mean_read_latency_ns,

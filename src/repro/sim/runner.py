@@ -10,14 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..common.config import SystemConfig
+from ..common.config import SystemConfig, default_config
 from ..common.types import MemoryRequest
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..dedup import SCHEME_NAMES, make_scheme
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import app_names, get_profile
 from .engine import EngineConfig, SimulationEngine
-from .metrics import SimulationResult
+from .metrics import SUMMARY_METRICS, SimulationResult
 
 
 def scaled_system_config() -> SystemConfig:
@@ -67,8 +67,18 @@ def run_app(app: str, schemes: Sequence[str], *,
             costs: CryptoCosts = DEFAULT_COSTS,
             seed: int = 2023,
             trace: Optional[List[MemoryRequest]] = None) -> Dict[str, SimulationResult]:
-    """Run one application against several schemes on a shared trace."""
-    system = system or SystemConfig()
+    """Run one application against several schemes on a shared trace.
+
+    Configuration default: ``system=None`` means the paper's **unscaled**
+    Table I configuration (:func:`repro.common.config.default_config`,
+    512 KB metadata caches).  This deliberately differs from
+    :func:`run_grid`, whose :class:`ExperimentConfig` defaults to
+    :func:`scaled_system_config` (caches scaled to simulation-length
+    traces).  To reproduce a grid cell with a direct call — or to agree
+    with ``repro.sweep`` jobs built from an ``ExperimentConfig`` — pass
+    ``system=scaled_system_config()`` explicitly.
+    """
+    system = system or default_config()
     profile = get_profile(app)
     if trace is None:
         trace = TraceGenerator(profile, seed=seed).generate_list(requests)
@@ -82,9 +92,35 @@ def run_app(app: str, schemes: Sequence[str], *,
     return results
 
 
-def run_grid(config: Optional[ExperimentConfig] = None) -> ResultGrid:
-    """Run the full (apps x schemes) grid of an experiment config."""
+def run_grid(config: Optional[ExperimentConfig] = None, *,
+             parallel: bool = False,
+             jobs: Optional[int] = None,
+             store=None,
+             progress: bool = False) -> ResultGrid:
+    """Run the full (apps x schemes) grid of an experiment config.
+
+    Configuration default: the grid's ``ExperimentConfig`` defaults to
+    :func:`scaled_system_config` (Table I with metadata caches scaled to
+    simulation-length traces); see :func:`run_app` for the contrast with
+    direct single-app calls.
+
+    Orchestration: with ``parallel=True`` (or whenever ``jobs`` / ``store``
+    is given) the grid is delegated to :func:`repro.sweep.run_sweep`, which
+    fans cells out over a process pool and serves repeat cells from the
+    content-addressed result store.  Results are byte-identical to the
+    serial path.
+
+    Args:
+        parallel: route through the sweep scheduler.
+        jobs: worker processes (implies ``parallel``); default cpu count.
+        store: result-store directory or ``ResultStore`` (implies
+            ``parallel``); ``None`` runs without persistence.
+        progress: emit live progress lines (parallel path only).
+    """
     config = config or ExperimentConfig()
+    if parallel or jobs is not None or store is not None:
+        from ..sweep import run_sweep  # local import: sweep imports runner
+        return run_sweep(config, jobs=jobs, store=store, progress=progress)
     grid: ResultGrid = {}
     for app in config.apps:
         per_app = run_app(app, config.schemes,
@@ -97,13 +133,19 @@ def run_grid(config: Optional[ExperimentConfig] = None) -> ResultGrid:
 
 
 def grid_metric(grid: ResultGrid, metric: str) -> Dict[str, Dict[str, float]]:
-    """Pivot a grid into {app: {scheme: value}} for one summary metric."""
+    """Pivot a grid into {app: {scheme: value}} for one summary metric.
+
+    Raises:
+        KeyError: when ``metric`` is not one of
+            :data:`~repro.sim.metrics.SUMMARY_METRICS` — raised up front,
+            before touching any result.
+    """
+    if metric not in SUMMARY_METRICS:
+        raise KeyError(f"unknown metric {metric!r}; "
+                       f"known metrics: {', '.join(SUMMARY_METRICS)}")
     out: Dict[str, Dict[str, float]] = {}
     for (app, scheme_name), result in grid.items():
-        row = result.summary_row()
-        if metric not in row:
-            raise KeyError(f"unknown metric {metric!r}; have {sorted(row)}")
-        out.setdefault(app, {})[scheme_name] = row[metric]
+        out.setdefault(app, {})[scheme_name] = result.summary_row()[metric]
     return out
 
 

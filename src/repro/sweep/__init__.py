@@ -1,0 +1,46 @@
+"""Parallel experiment orchestration: scheduler, result store, progress.
+
+The paper's evaluation is a (20 applications) x (4 schemes) grid; replaying
+it serially is the slowest path in the repo and re-simulates cells every
+run.  This subsystem turns the grid into content-addressed jobs:
+
+* :class:`JobSpec` — one (app, scheme) cell with a stable content hash
+  over every input that affects its result.
+* :class:`Scheduler` — fans jobs out over a process pool, shares one
+  generated trace per application, retries crashed workers, and enforces
+  per-job timeouts.
+* :class:`ResultStore` — persists full-fidelity results keyed by job hash,
+  so re-runs and interrupted sweeps resume instantly.
+* :class:`ProgressReporter` — live completed/failed/ETA lines plus a
+  machine-readable sweep manifest.
+
+Entry points: :func:`run_sweep` (library),
+``python -m repro.cli sweep`` (command line), and
+``run_grid(..., jobs=..., store=...)`` (drop-in parallel path for existing
+callers).
+"""
+
+from .job import SWEEP_SCHEMA_VERSION, JobSpec, jobs_from_experiment
+from .progress import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_SIMULATED,
+    ProgressReporter,
+)
+from .scheduler import Scheduler, execute_job, run_sweep
+from .store import ResultStore, job_meta
+
+__all__ = [
+    "JobSpec",
+    "ProgressReporter",
+    "ResultStore",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_SIMULATED",
+    "SWEEP_SCHEMA_VERSION",
+    "Scheduler",
+    "execute_job",
+    "job_meta",
+    "jobs_from_experiment",
+    "run_sweep",
+]

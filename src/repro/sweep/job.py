@@ -1,0 +1,99 @@
+"""Job specifications for orchestrated experiment sweeps.
+
+A :class:`JobSpec` pins down everything one grid cell depends on — the
+application, the scheme, the trace parameters (requests, seed), and the
+complete system/engine/cost configuration — and derives a stable content
+hash from it.  Two processes (or two machines) building the same spec get
+the same hash, which is what makes the result store shareable and sweeps
+resumable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..common.config import SystemConfig, config_digest
+from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..dedup import EXTENDED_SCHEME_NAMES
+from ..sim.engine import EngineConfig
+from ..workloads.profiles import app_names
+from ..workloads.trace import VERSION as TRACE_VERSION
+
+#: Version of the sweep job/result layout.  Bumping it invalidates every
+#: previously stored result (their hashes change), which is the safe
+#: default whenever simulation semantics move.
+SWEEP_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (application, scheme) cell of an experiment grid.
+
+    Unlike :func:`repro.sim.runner.run_app`, a job spec carries an
+    *explicit* :class:`SystemConfig` — there is no silent default, so the
+    serial and orchestrated paths cannot diverge on configuration.
+    """
+
+    app: str
+    scheme: str
+    requests: int
+    seed: int
+    system: SystemConfig
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    costs: CryptoCosts = DEFAULT_COSTS
+
+    def __post_init__(self) -> None:
+        if self.app not in app_names():
+            raise ValueError(f"unknown application {self.app!r}")
+        if self.scheme not in EXTENDED_SCHEME_NAMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; "
+                             f"known {EXTENDED_SCHEME_NAMES}")
+        if self.requests <= 0:
+            raise ValueError("requests must be positive")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The cell's position in a :data:`~repro.sim.runner.ResultGrid`."""
+        return (self.app, self.scheme)
+
+    @property
+    def trace_id(self) -> str:
+        """Identifier of the shared per-application trace this job replays.
+
+        Every scheme job of one application shares the same trace (the
+        paper's evaluation pairs schemes on identical request streams), so
+        the trace id deliberately excludes the scheme.
+        """
+        return f"{self.app}-s{self.seed}-n{self.requests}-v{TRACE_VERSION}"
+
+    def digest(self) -> str:
+        """Stable content hash identifying this job across processes."""
+        return config_digest({
+            "schema": SWEEP_SCHEMA_VERSION,
+            "trace_version": TRACE_VERSION,
+            "app": self.app,
+            "scheme": self.scheme,
+            "requests": self.requests,
+            "seed": self.seed,
+        }, self.system, self.engine, self.costs)
+
+    def describe(self) -> str:
+        return f"{self.app}/{self.scheme} ({self.requests} req, seed {self.seed})"
+
+
+def jobs_from_experiment(config) -> List[JobSpec]:
+    """Expand an :class:`~repro.sim.runner.ExperimentConfig` into job specs.
+
+    Order matches the serial :func:`~repro.sim.runner.run_grid` iteration
+    (apps outer, schemes inner) so the assembled grid has identical key
+    ordering to a serial run.
+    """
+    return [
+        JobSpec(app=app, scheme=scheme,
+                requests=config.requests_per_app, seed=config.seed,
+                system=config.system, engine=config.engine,
+                costs=config.costs)
+        for app in config.apps
+        for scheme in config.schemes
+    ]

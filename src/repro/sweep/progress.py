@@ -1,0 +1,157 @@
+"""Live progress reporting and the machine-readable sweep manifest.
+
+The reporter has two consumers: a human watching the terminal (periodic
+``[sweep] 12/32 done ...`` lines with an ETA, written to stderr so result
+tables on stdout stay pipeable) and tooling (a manifest dict recording
+per-job status, attempts, and timing, persisted by the scheduler into the
+result store).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, TextIO
+
+from .job import SWEEP_SCHEMA_VERSION, JobSpec
+
+#: Per-job terminal states recorded in the manifest.
+STATUS_CACHED = "cached"
+STATUS_SIMULATED = "simulated"
+STATUS_FAILED = "failed"
+
+
+class ProgressReporter:
+    """Tracks job completions, prints throttled progress lines.
+
+    Args:
+        total: number of jobs in the sweep.
+        stream: where progress lines go (default stderr); ``None`` or
+            ``enabled=False`` silences printing while still collecting the
+            manifest.
+        interval_s: minimum seconds between routine progress lines
+            (failures always print).
+        clock: injectable monotonic clock for tests.
+    """
+
+    def __init__(self, total: int, *, stream: Optional[TextIO] = None,
+                 enabled: bool = True, interval_s: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.total = total
+        self.cached = 0
+        self.simulated = 0
+        self.failed = 0
+        self.retries = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._enabled = enabled
+        self._interval_s = interval_s
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = float("-inf")
+        self._rows: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Event sinks (called by the scheduler)
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.cached + self.simulated + self.failed
+
+    def job_done(self, spec: JobSpec, status: str, *,
+                 attempts: int = 1, duration_s: float = 0.0,
+                 error: Optional[str] = None) -> None:
+        """Record one job reaching a terminal state."""
+        if status == STATUS_CACHED:
+            self.cached += 1
+        elif status == STATUS_SIMULATED:
+            self.simulated += 1
+        elif status == STATUS_FAILED:
+            self.failed += 1
+        else:
+            raise ValueError(f"unknown job status {status!r}")
+        self._rows.append({
+            "app": spec.app,
+            "scheme": spec.scheme,
+            "digest": spec.digest(),
+            "status": status,
+            "attempts": attempts,
+            "duration_s": round(duration_s, 6),
+            "error": error,
+        })
+        self._emit(force=(status == STATUS_FAILED))
+
+    def job_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
+        """Record a non-terminal failure that will be retried."""
+        self.retries += 1
+        self._print(f"[sweep] retry {spec.describe()} "
+                    f"(attempt {attempt} failed: {error})")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def line(self) -> str:
+        elapsed = self._clock() - self._started
+        parts = [f"[sweep] {self.done}/{self.total} done"]
+        detail = []
+        if self.cached:
+            detail.append(f"{self.cached} cached")
+        if self.failed:
+            detail.append(f"{self.failed} failed")
+        if detail:
+            parts.append(f"({', '.join(detail)})")
+        parts.append(f"elapsed {elapsed:.1f}s")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        return " ".join(parts)
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining wall-clock estimate from the simulated-job rate.
+
+        Cached hits are near-instant, so the rate only counts simulated
+        completions; before the first one finishes there is no basis for
+        an estimate and ``None`` is returned.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0 or self.simulated == 0:
+            return None
+        elapsed = self._clock() - self._started
+        return elapsed / self.simulated * remaining
+
+    def _emit(self, *, force: bool = False) -> None:
+        now = self._clock()
+        if not force and self.done < self.total \
+                and now - self._last_emit < self._interval_s:
+            return
+        self._last_emit = now
+        self._print(self.line())
+
+    def _print(self, text: str) -> None:
+        if self._enabled and self._stream is not None:
+            print(text, file=self._stream, flush=True)
+
+    def finish(self) -> None:
+        elapsed = self._clock() - self._started
+        self._print(
+            f"[sweep] finished: {self.simulated} simulated, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"in {elapsed:.1f}s")
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def manifest(self) -> Dict:
+        """Machine-readable sweep record (persisted as manifest.json)."""
+        return {
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "total_jobs": self.total,
+            "cached": self.cached,
+            "simulated": self.simulated,
+            "failed": self.failed,
+            "retries": self.retries,
+            "elapsed_s": round(self._clock() - self._started, 6),
+            "jobs": list(self._rows),
+        }

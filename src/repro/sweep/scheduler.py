@@ -1,0 +1,320 @@
+"""Worker-pool scheduler that fans an experiment grid out over processes.
+
+Execution model:
+
+* Jobs are first checked against the :class:`~repro.sweep.store.ResultStore`
+  — a hit skips simulation entirely, which is what makes interrupted sweeps
+  resumable and repeat sweeps (new figures over the same grid) free.
+* One trace per application is generated once in the parent and shared on
+  disk; scheme jobs replay it, preserving the paper's paired-trace
+  methodology and the serial runner's exact request streams.
+* Misses run on a ``ProcessPoolExecutor`` (``jobs`` workers, default
+  ``os.cpu_count()``).  A crashed or timed-out worker fails only the jobs it
+  was running; those jobs are resubmitted on a fresh pool up to ``retries``
+  extra attempts before the sweep raises :class:`~repro.common.errors.SweepError`.
+* ``jobs=1`` bypasses the pool and runs in-process (no fork overhead, and
+  exceptions surface with full tracebacks) while still using the store.
+
+Determinism: every scheme run seeds its own RNGs from its configuration and
+consumes a replayed trace, so cell results are independent of worker count
+and scheduling order — the parallel grid is byte-identical to a serial
+:func:`~repro.sim.runner.run_grid`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..common.errors import SweepError
+from ..sim.metrics import SimulationResult
+from ..sim.runner import run_app
+from ..workloads.generator import TraceGenerator
+from ..workloads.profiles import get_profile
+from ..workloads.trace import read_trace_list
+from .job import JobSpec, jobs_from_experiment
+from .progress import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_SIMULATED,
+    ProgressReporter,
+)
+from .store import ResultStore, job_meta
+
+
+#: Per-process memo of recently parsed traces.  Pool workers serve many
+#: jobs; scheme jobs of the same application share a trace file, so keeping
+#: the last few parsed streams in the worker avoids re-deserializing 64-byte
+#: payload records for every cell.  Bounded to stay small under the
+#: many-apps case.
+_TRACE_MEMO: "Dict[str, list]" = {}
+_TRACE_MEMO_CAP = 4
+
+
+def _load_trace(trace_path: str) -> list:
+    trace = _TRACE_MEMO.get(trace_path)
+    if trace is None:
+        trace = read_trace_list(trace_path)
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_CAP:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[trace_path] = trace
+    return trace
+
+
+def execute_job(spec: JobSpec, trace_path: str) -> SimulationResult:
+    """Run one grid cell; the worker-side entry point (must be picklable).
+
+    Deliberately funnels through :func:`~repro.sim.runner.run_app` so the
+    orchestrated path exercises the exact code the serial runner does.
+    """
+    trace = _load_trace(trace_path)
+    results = run_app(spec.app, [spec.scheme], requests=spec.requests,
+                      system=spec.system, engine=spec.engine,
+                      costs=spec.costs, seed=spec.seed, trace=trace)
+    return results[spec.scheme]
+
+
+class Scheduler:
+    """Orchestrates a set of :class:`JobSpec` over a process pool.
+
+    Args:
+        store: result store to consult/populate; ``None`` uses a temporary
+            store discarded after the run (parallelism without persistence).
+        jobs: worker processes (default ``os.cpu_count()``; 1 = in-process).
+        job_timeout_s: wall-clock budget per job; a round of jobs that
+            exceeds its aggregate budget is torn down and retried.
+        retries: extra attempts per job after a crash/timeout/exception.
+        reporter: progress sink; ``None`` builds a silent one.
+        worker: job-execution callable, injectable for tests; must be a
+            module-level (picklable) function with ``execute_job``'s
+            signature.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, *,
+                 jobs: Optional[int] = None,
+                 job_timeout_s: float = 600.0,
+                 retries: int = 2,
+                 reporter: Optional[ProgressReporter] = None,
+                 worker: Callable[[JobSpec, str], SimulationResult] = execute_job) -> None:
+        if jobs is not None and jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.store = store
+        self.jobs = jobs or os.cpu_count() or 1
+        self.job_timeout_s = job_timeout_s
+        self.retries = retries
+        self.reporter = reporter
+        self._worker = worker
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> Dict[Tuple[str, str], SimulationResult]:
+        """Execute all jobs; returns ``{(app, scheme): result}``.
+
+        Grid key order follows ``specs`` order, matching the serial runner.
+
+        Raises:
+            SweepError: when any job still fails after its retry budget.
+        """
+        reporter = self.reporter or ProgressReporter(len(specs), enabled=False)
+        if self.store is not None:
+            return self._run_with_store(specs, self.store, reporter)
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+            return self._run_with_store(specs, ResultStore(tmp), reporter)
+
+    def _run_with_store(self, specs: Sequence[JobSpec], store: ResultStore,
+                        reporter: ProgressReporter
+                        ) -> Dict[Tuple[str, str], SimulationResult]:
+        results: Dict[Tuple[str, str], SimulationResult] = {}
+        digests = {spec: spec.digest() for spec in specs}
+        pending: List[JobSpec] = []
+        for spec in specs:
+            if spec.key in results:
+                raise SweepError(f"duplicate grid cell {spec.key}")
+            cached = store.get(digests[spec])
+            if cached is not None:
+                results[spec.key] = cached
+                reporter.job_done(spec, STATUS_CACHED)
+            else:
+                pending.append(spec)
+
+        trace_paths = self._ensure_traces(pending, store)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, trace_paths, digests, store,
+                                 reporter, results)
+            else:
+                self._run_pool(pending, trace_paths, digests, store,
+                               reporter, results)
+
+        reporter.finish()
+        manifest = reporter.manifest()
+        manifest["jobs_flag"] = self.jobs
+        if self.store is not None:
+            store.write_manifest(manifest)
+
+        failed = [spec for spec in specs if spec.key not in results]
+        if failed:
+            detail = ", ".join(spec.describe() for spec in failed[:8])
+            raise SweepError(
+                f"{len(failed)} job(s) failed after {self.retries + 1} "
+                f"attempt(s): {detail}")
+        return {spec.key: results[spec.key] for spec in specs}
+
+    def _ensure_traces(self, pending: Sequence[JobSpec],
+                       store: ResultStore) -> Dict[str, str]:
+        """Generate each application's shared trace once, in the parent."""
+        paths: Dict[str, str] = {}
+        for spec in pending:
+            if spec.trace_id in paths:
+                continue
+            profile = get_profile(spec.app)
+
+            def generate(spec=spec, profile=profile):
+                return TraceGenerator(profile, seed=spec.seed).generate_list(
+                    spec.requests)
+
+            paths[spec.trace_id] = str(store.ensure_trace(spec.trace_id,
+                                                          generate))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, pending, trace_paths, digests, store, reporter,
+                    results) -> None:
+        for spec in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                started = time.monotonic()
+                try:
+                    result = self._worker(spec, trace_paths[spec.trace_id])
+                except Exception as exc:
+                    if attempts <= self.retries:
+                        reporter.job_retry(spec, attempts, repr(exc))
+                        continue
+                    reporter.job_done(spec, STATUS_FAILED, attempts=attempts,
+                                      duration_s=time.monotonic() - started,
+                                      error=repr(exc))
+                    break
+                self._record(spec, result, digests, store, reporter,
+                             results, attempts,
+                             time.monotonic() - started)
+                break
+
+    def _run_pool(self, pending, trace_paths, digests, store, reporter,
+                  results) -> None:
+        attempts: Dict[str, int] = {digests[spec]: 0 for spec in pending}
+        remaining = list(pending)
+        while remaining:
+            batch, remaining = remaining, []
+            workers = min(self.jobs, len(batch))
+            # Aggregate wall budget for the round: each worker slot gets the
+            # per-job timeout for every job it may serve.
+            budget = self.job_timeout_s * math.ceil(len(batch) / workers)
+            started = {}
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for spec in batch:
+                    started[digests[spec]] = time.monotonic()
+                    futures[pool.submit(self._worker, spec,
+                                        trace_paths[spec.trace_id])] = spec
+                timed_out = False
+                try:
+                    for future in as_completed(futures, timeout=budget):
+                        spec = futures.pop(future)
+                        digest = digests[spec]
+                        attempts[digest] += 1
+                        duration = time.monotonic() - started[digest]
+                        try:
+                            result = future.result()
+                        except Exception as exc:
+                            if attempts[digest] <= self.retries:
+                                reporter.job_retry(spec, attempts[digest],
+                                                   repr(exc))
+                                remaining.append(spec)
+                            else:
+                                reporter.job_done(
+                                    spec, STATUS_FAILED,
+                                    attempts=attempts[digest],
+                                    duration_s=duration, error=repr(exc))
+                        else:
+                            self._record(spec, result, digests, store,
+                                         reporter, results,
+                                         attempts[digest], duration)
+                except FutureTimeout:
+                    timed_out = True
+                if timed_out:
+                    # Tear the round down; unfinished jobs burn one attempt.
+                    # A hung worker would otherwise block the executor's
+                    # final join forever, so force-stop the round's
+                    # processes before shutting the pool down.
+                    for proc in list((getattr(pool, "_processes", None)
+                                      or {}).values()):
+                        proc.terminate()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for future, spec in futures.items():
+                        digest = digests[spec]
+                        attempts[digest] += 1
+                        duration = time.monotonic() - started[digest]
+                        err = (f"timeout after {self.job_timeout_s:.0f}s/job "
+                               f"round budget")
+                        if attempts[digest] <= self.retries:
+                            reporter.job_retry(spec, attempts[digest], err)
+                            remaining.append(spec)
+                        else:
+                            reporter.job_done(spec, STATUS_FAILED,
+                                              attempts=attempts[digest],
+                                              duration_s=duration,
+                                              error=err)
+
+    def _record(self, spec, result, digests, store, reporter, results,
+                attempts: int, duration: float) -> None:
+        store.put(digests[spec], result, job=job_meta(spec))
+        results[spec.key] = result
+        reporter.job_done(spec, STATUS_SIMULATED, attempts=attempts,
+                          duration_s=duration)
+
+
+def run_sweep(config=None, *,
+              jobs: Optional[int] = None,
+              store: Optional[Union[str, ResultStore]] = None,
+              job_timeout_s: float = 600.0,
+              retries: int = 2,
+              progress: bool = False,
+              reporter: Optional[ProgressReporter] = None):
+    """Orchestrated equivalent of :func:`repro.sim.runner.run_grid`.
+
+    Args:
+        config: an :class:`~repro.sim.runner.ExperimentConfig` (defaults to
+            the full paper grid, identical to ``run_grid()``).
+        jobs: worker processes (default ``os.cpu_count()``).
+        store: result-store directory (created on demand) or a
+            :class:`ResultStore`; ``None`` runs without persistence.
+        progress: emit live progress lines to stderr.
+
+    Returns:
+        A :data:`~repro.sim.runner.ResultGrid` byte-identical to the serial
+        runner's output for the same config.
+    """
+    from ..sim.runner import ExperimentConfig  # deferred: avoids cycle
+    config = config or ExperimentConfig()
+    specs = jobs_from_experiment(config)
+    if isinstance(store, (str, os.PathLike)):
+        store = ResultStore(store)
+    if reporter is None:
+        reporter = ProgressReporter(len(specs), enabled=progress)
+    scheduler = Scheduler(store, jobs=jobs, job_timeout_s=job_timeout_s,
+                          retries=retries, reporter=reporter)
+    return scheduler.run(specs)

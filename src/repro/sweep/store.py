@@ -1,0 +1,165 @@
+"""Content-addressed, on-disk store for sweep results and shared traces.
+
+Layout under the store root::
+
+    results/<job-digest>.json   one simulated cell, full-fidelity state
+    traces/<trace-id>.esdtrace  shared per-application request stream
+    manifest.json               machine-readable record of the last sweep
+
+Result rows are written atomically (temp file + ``os.replace``), so a
+sweep killed mid-run leaves only complete rows behind and a re-invocation
+resumes exactly at the first unfinished cell.  Rows carry the full internal
+state of a :class:`~repro.sim.metrics.SimulationResult`
+(:func:`repro.sim.export.result_to_state`), so a cache hit is
+byte-identical to a fresh simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..common.types import MemoryRequest
+from ..sim.export import result_from_state, result_to_state
+from ..sim.metrics import SimulationResult
+from ..workloads.trace import read_trace_list, write_trace
+from .job import JobSpec
+
+
+class ResultStore:
+    """Persists simulation results keyed by job content hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.traces_dir = self.root / "traces"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def result_path(self, digest: str) -> Path:
+        return self.results_dir / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.result_path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_digests())
+
+    def iter_digests(self) -> Iterator[str]:
+        for path in sorted(self.results_dir.glob("*.json")):
+            yield path.stem
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """The stored result for ``digest``, or ``None`` on a miss.
+
+        Corrupt or version-incompatible rows (e.g. a row written by a
+        future schema, or a partial file from a non-atomic writer) read as
+        misses rather than errors: the scheduler simply re-simulates the
+        cell and overwrites the bad row.
+        """
+        path = self.result_path(digest)
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_state(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, digest: str, result: SimulationResult,
+            job: Optional[Dict] = None) -> Path:
+        """Atomically persist one result row; returns its path."""
+        path = self.result_path(digest)
+        payload = {"job": job or {}, "result": result_to_state(result)}
+        # No sort_keys: dict insertion order must survive the round trip —
+        # derived sums (e.g. total_energy_nj) iterate the energy dict, and
+        # float addition is not associative, so reordering keys would make
+        # cached cells differ from fresh ones in the last ulp.
+        self._atomic_write(path, json.dumps(payload))
+        return path
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=f".{path.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Shared traces
+    # ------------------------------------------------------------------
+
+    def trace_path(self, trace_id: str) -> Path:
+        return self.traces_dir / f"{trace_id}.esdtrace"
+
+    def ensure_trace(self, trace_id: str,
+                     generate: Callable[[], List[MemoryRequest]]) -> Path:
+        """Return the trace file for ``trace_id``, generating it on miss.
+
+        The trace is written atomically so concurrent sweeps sharing one
+        store never observe a truncated file.
+        """
+        path = self.trace_path(trace_id)
+        if path.exists():
+            return path
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=f".{path.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                write_trace(generate(), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_trace(self, trace_id: str) -> List[MemoryRequest]:
+        return read_trace_list(self.trace_path(trace_id))
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def write_manifest(self, manifest: Dict) -> Path:
+        self._atomic_write(self.manifest_path,
+                           json.dumps(manifest, indent=2, sort_keys=True))
+        return self.manifest_path
+
+    def read_manifest(self) -> Optional[Dict]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (FileNotFoundError, ValueError):
+            return None
+
+
+def job_meta(spec: JobSpec) -> Dict:
+    """Human-auditable job header stored alongside each result row."""
+    return {
+        "app": spec.app,
+        "scheme": spec.scheme,
+        "requests": spec.requests,
+        "seed": spec.seed,
+        "digest": spec.digest(),
+        "trace_id": spec.trace_id,
+    }

@@ -79,3 +79,50 @@ class TestCommands:
         rc = main(["run", "--scheme", "ESD", "--app", "gcc",
                    "--requests", "1200", "--efit-kb", "4", "--amt-kb", "16"])
         assert rc == 0
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.apps == "all"
+        assert args.schemes == "all"
+        assert args.jobs is None
+        assert args.store is None
+        assert args.metric == "write_latency_ns"
+
+    def test_unknown_metric_rejected_before_running(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--metric", "not_a_metric"])
+        # The error must teach the valid names.
+        assert "write_latency_ns" in str(excinfo.value)
+        assert "ipc" in str(excinfo.value)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "gcc,doom"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--schemes", "ESD,NoSuch"])
+
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        argv = ["sweep", "--apps", "gcc", "--schemes", "ESD,Baseline",
+                "--requests", "600", "--jobs", "1",
+                "--store", str(tmp_path / "store"), "--quiet",
+                "--export", str(tmp_path / "grid.json")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "ESD" in out and "Baseline" in out
+        assert (tmp_path / "grid.json").exists()
+        # Second invocation resumes entirely from the store.
+        assert main(argv[:-2]) == 0
+        manifest = (tmp_path / "store" / "manifest.json").read_text()
+        import json
+        assert json.loads(manifest)["cached"] == 2
+        assert json.loads(manifest)["simulated"] == 0
+
+    def test_numeric_scheme_codes_and_dedupe(self, tmp_path):
+        rc = main(["sweep", "--apps", "gcc", "--schemes", "3,ESD",
+                   "--requests", "600", "--jobs", "1", "--quiet",
+                   "--store", str(tmp_path / "store")])
+        assert rc == 0

@@ -1,0 +1,104 @@
+"""Tests for sweep job specs and their content hashes."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.common import config_digest, small_test_config
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import ExperimentConfig
+from repro.sweep import JobSpec, jobs_from_experiment
+
+
+def make_spec(**overrides):
+    base = dict(app="gcc", scheme="ESD", requests=2_000, seed=7,
+                system=small_test_config())
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError):
+            make_spec(app="nosuchapp")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_spec(scheme="NoSuchScheme")
+
+    def test_rejects_nonpositive_requests(self):
+        with pytest.raises(ValueError):
+            make_spec(requests=0)
+
+    def test_key_and_trace_id(self):
+        spec = make_spec()
+        assert spec.key == ("gcc", "ESD")
+        assert spec.trace_id.startswith("gcc-s7-n2000-v")
+        # Paired traces: the scheme must not influence the trace identity.
+        assert make_spec(scheme="Baseline").trace_id == spec.trace_id
+
+
+class TestDigest:
+    def test_digest_is_stable_within_process(self):
+        assert make_spec().digest() == make_spec().digest()
+
+    def test_digest_changes_with_every_input(self):
+        base = make_spec().digest()
+        assert make_spec(scheme="Baseline").digest() != base
+        assert make_spec(app="lbm").digest() != base
+        assert make_spec(requests=2_001).digest() != base
+        assert make_spec(seed=8).digest() != base
+        assert make_spec(system=small_test_config().with_seed(9)).digest() \
+            != base
+        assert make_spec(
+            engine=EngineConfig(max_outstanding=32)).digest() != base
+
+    def test_digest_stable_across_processes(self):
+        """The cache key must be identical in a fresh interpreter."""
+        spec = make_spec()
+        script = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.common import small_test_config;"
+            "from repro.sweep import JobSpec;"
+            "spec = JobSpec(app='gcc', scheme='ESD', requests=2000, seed=7,"
+            "               system=small_test_config());"
+            "print(spec.digest())"
+        )
+        out = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True, check=True,
+                             cwd=str(__import__('pathlib').Path(
+                                 __file__).parent.parent))
+        assert out.stdout.strip() == spec.digest()
+
+
+class TestConfigDigest:
+    def test_identical_configs_collide(self):
+        assert config_digest(small_test_config()) \
+            == config_digest(small_test_config())
+
+    def test_different_classes_do_not_collide(self):
+        # Structurally equal payloads from different classes must differ.
+        from repro.common.config import MetadataCacheConfig
+        a = MetadataCacheConfig(efit_bytes=1024, amt_bytes=1024)
+        assert config_digest(a) != config_digest(
+            {"efit_bytes": 1024, "amt_bytes": 1024, "probe_latency_ns": 1.0})
+
+    def test_rejects_unserializable_values(self):
+        from repro.common import ConfigError
+        with pytest.raises(ConfigError):
+            config_digest(object())
+
+
+class TestJobsFromExperiment:
+    def test_grid_expansion_order_matches_serial_runner(self):
+        config = ExperimentConfig(apps=["gcc", "lbm"],
+                                  schemes=["Baseline", "ESD"],
+                                  requests_per_app=1_000,
+                                  system=small_test_config())
+        specs = jobs_from_experiment(config)
+        assert [s.key for s in specs] == [
+            ("gcc", "Baseline"), ("gcc", "ESD"),
+            ("lbm", "Baseline"), ("lbm", "ESD")]
+        assert all(s.requests == 1_000 for s in specs)
+        assert len({s.digest() for s in specs}) == 4

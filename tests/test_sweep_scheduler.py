@@ -1,0 +1,224 @@
+"""Tests for the sweep scheduler: parity, resume, retry, progress."""
+
+import io
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.common import SweepError, small_test_config
+from repro.sim.export import grid_to_dict
+from repro.sim.runner import ExperimentConfig, run_grid
+from repro.sweep import (
+    ProgressReporter,
+    ResultStore,
+    Scheduler,
+    execute_job,
+    jobs_from_experiment,
+    run_sweep,
+)
+
+#: Sentinel path used by the crash-once worker (set per test).
+CRASH_SENTINEL_ENV = "REPRO_TEST_CRASH_SENTINEL"
+FAIL_COUNT_ENV = "REPRO_TEST_FAIL_DIR"
+
+
+def small_experiment(apps=("gcc", "lbm"), schemes=("Baseline", "ESD"),
+                     requests=900):
+    return ExperimentConfig(apps=list(apps), schemes=list(schemes),
+                            requests_per_app=requests,
+                            system=small_test_config(), seed=7)
+
+
+def crash_once_worker(spec, trace_path):
+    """Hard-kills its worker process the first time any job runs."""
+    sentinel = pathlib.Path(os.environ[CRASH_SENTINEL_ENV])
+    if not sentinel.exists():
+        sentinel.touch()
+        os._exit(1)
+    return execute_job(spec, trace_path)
+
+
+def always_raising_worker(spec, trace_path):
+    raise ValueError("injected failure")
+
+
+def sleeping_worker(spec, trace_path):
+    time.sleep(30.0)
+    return execute_job(spec, trace_path)
+
+
+def counting_worker(spec, trace_path):
+    """Drops a marker file per simulated cell, then runs normally."""
+    marker_dir = pathlib.Path(os.environ[FAIL_COUNT_ENV])
+    (marker_dir / f"{spec.app}-{spec.scheme}").touch()
+    return execute_job(spec, trace_path)
+
+
+class TestParity:
+    def test_parallel_grid_byte_identical_to_serial(self, tmp_path):
+        config = small_experiment()
+        serial = run_grid(config)
+        parallel = run_grid(config, jobs=4, store=tmp_path / "store")
+        a = json.dumps(grid_to_dict(serial), sort_keys=True)
+        b = json.dumps(grid_to_dict(parallel), sort_keys=True)
+        assert a == b
+        assert list(serial) == list(parallel)
+
+    def test_cached_grid_byte_identical_to_serial(self, tmp_path):
+        config = small_experiment(apps=["gcc"], requests=700)
+        serial = run_grid(config)
+        run_grid(config, jobs=2, store=tmp_path / "store")
+        cached = run_grid(config, jobs=2, store=tmp_path / "store")
+        assert json.dumps(grid_to_dict(serial), sort_keys=True) \
+            == json.dumps(grid_to_dict(cached), sort_keys=True)
+
+    def test_in_process_path_matches_pool_path(self, tmp_path):
+        config = small_experiment(apps=["gcc"], requests=700)
+        one = run_sweep(config, jobs=1, store=tmp_path / "a")
+        many = run_sweep(config, jobs=3, store=tmp_path / "b")
+        assert json.dumps(grid_to_dict(one), sort_keys=True) \
+            == json.dumps(grid_to_dict(many), sort_keys=True)
+
+
+class TestCaching:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        config = small_experiment(requests=600)
+        store = tmp_path / "store"
+        reporter1 = ProgressReporter(4, enabled=False)
+        run_sweep(config, jobs=1, store=store, reporter=reporter1)
+        assert reporter1.simulated == 4 and reporter1.cached == 0
+
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        os.environ[FAIL_COUNT_ENV] = str(marker_dir)
+        try:
+            reporter2 = ProgressReporter(4, enabled=False)
+            specs = jobs_from_experiment(config)
+            scheduler = Scheduler(ResultStore(store), jobs=1,
+                                  reporter=reporter2, worker=counting_worker)
+            scheduler.run(specs)
+        finally:
+            del os.environ[FAIL_COUNT_ENV]
+        assert reporter2.cached == 4 and reporter2.simulated == 0
+        assert list(marker_dir.iterdir()) == []  # zero simulations re-run
+
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path):
+        """Completing half the grid then rerunning simulates only the rest."""
+        config = small_experiment(requests=600)
+        store = ResultStore(tmp_path / "store")
+        specs = jobs_from_experiment(config)
+        # "Interrupt": only the first two cells finished before the kill.
+        Scheduler(store, jobs=1).run(specs[:2])
+
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        os.environ[FAIL_COUNT_ENV] = str(marker_dir)
+        try:
+            reporter = ProgressReporter(4, enabled=False)
+            Scheduler(store, jobs=1, reporter=reporter,
+                      worker=counting_worker).run(specs)
+        finally:
+            del os.environ[FAIL_COUNT_ENV]
+        assert reporter.cached == 2 and reporter.simulated == 2
+        simulated = {p.name for p in marker_dir.iterdir()}
+        assert simulated == {f"{s.app}-{s.scheme}" for s in specs[2:]}
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        store = tmp_path / "store"
+        run_sweep(small_experiment(apps=["gcc"], requests=600),
+                  jobs=1, store=store)
+        reporter = ProgressReporter(2, enabled=False)
+        run_sweep(small_experiment(apps=["gcc"], requests=601),
+                  jobs=1, store=store, reporter=reporter)
+        assert reporter.simulated == 2 and reporter.cached == 0
+
+
+class TestFailureHandling:
+    def test_worker_crash_is_retried_and_recovers(self, tmp_path):
+        config = small_experiment(apps=["gcc"], schemes=["Baseline"],
+                                  requests=600)
+        os.environ[CRASH_SENTINEL_ENV] = str(tmp_path / "crashed")
+        try:
+            reporter = ProgressReporter(1, enabled=False)
+            scheduler = Scheduler(ResultStore(tmp_path / "store"), jobs=2,
+                                  retries=2, reporter=reporter,
+                                  worker=crash_once_worker)
+            grid = scheduler.run(jobs_from_experiment(config))
+        finally:
+            del os.environ[CRASH_SENTINEL_ENV]
+        assert ("gcc", "Baseline") in grid
+        assert reporter.retries >= 1
+        assert reporter.simulated == 1
+
+    def test_persistent_failure_raises_sweep_error(self, tmp_path):
+        config = small_experiment(apps=["gcc"], schemes=["Baseline"],
+                                  requests=600)
+        reporter = ProgressReporter(1, enabled=False)
+        scheduler = Scheduler(ResultStore(tmp_path / "store"), jobs=1,
+                              retries=1, reporter=reporter,
+                              worker=always_raising_worker)
+        with pytest.raises(SweepError, match="gcc/Baseline"):
+            scheduler.run(jobs_from_experiment(config))
+        assert reporter.failed == 1
+        assert reporter.retries == 1  # one retry, then terminal failure
+
+    def test_job_timeout_fails_the_job(self, tmp_path):
+        config = small_experiment(apps=["gcc"], schemes=["Baseline"],
+                                  requests=600)
+        scheduler = Scheduler(ResultStore(tmp_path / "store"), jobs=2,
+                              retries=0, job_timeout_s=0.3,
+                              worker=sleeping_worker)
+        started = time.monotonic()
+        with pytest.raises(SweepError):
+            scheduler.run(jobs_from_experiment(config))
+        assert time.monotonic() - started < 20.0
+
+    def test_scheduler_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            Scheduler(jobs=0)
+        with pytest.raises(ValueError):
+            Scheduler(job_timeout_s=0)
+        with pytest.raises(ValueError):
+            Scheduler(retries=-1)
+
+
+class TestProgressAndManifest:
+    def test_manifest_written_to_store(self, tmp_path):
+        config = small_experiment(requests=600)
+        store = tmp_path / "store"
+        run_sweep(config, jobs=1, store=store)
+        manifest = ResultStore(store).read_manifest()
+        assert manifest["total_jobs"] == 4
+        assert manifest["simulated"] == 4
+        assert manifest["failed"] == 0
+        assert len(manifest["jobs"]) == 4
+        row = manifest["jobs"][0]
+        assert {"app", "scheme", "digest", "status", "attempts",
+                "duration_s", "error"} <= set(row)
+        assert row["status"] == "simulated"
+
+    def test_progress_lines_and_eta(self):
+        fake_now = [0.0]
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, stream=stream, interval_s=0.0,
+                                    clock=lambda: fake_now[0])
+        spec = jobs_from_experiment(small_experiment())[0]
+        reporter.job_done(spec, "cached")
+        assert reporter.eta_s() is None  # cache hits carry no rate signal
+        fake_now[0] = 2.0
+        reporter.job_done(spec, "simulated", duration_s=2.0)
+        assert reporter.eta_s() == pytest.approx(2.0 / 1 * 2)
+        reporter.finish()
+        out = stream.getvalue()
+        assert "[sweep] 1/4 done (1 cached)" in out
+        assert "eta" in out
+        assert "finished: 1 simulated, 1 cached, 0 failed" in out
+
+    def test_ephemeral_store_runs_without_persistence(self):
+        config = small_experiment(apps=["gcc"], schemes=["Baseline"],
+                                  requests=600)
+        grid = run_sweep(config, jobs=1)
+        assert ("gcc", "Baseline") in grid
