@@ -1,0 +1,54 @@
+"""Timeline parity gate: the refactor-safe fingerprint of the grid.
+
+The StageTimeline refactor promises that moving stage *attribution* into
+the declarative timeline never moves the simulated *numbers*: summary
+metrics are pure functions of completion times, which the timeline
+reproduces operation-for-operation.  This gate freezes the full-precision
+summary rows of the shared evaluation grid to
+``benchmarks/output/timeline_parity.txt`` so any change to the write-path
+plumbing can be diffed in one command:
+
+    # before the change (any git ref), warm a shared result store:
+    REPRO_SWEEP_STORE=.sweep_cache PYTHONPATH=src \
+        python -m pytest benchmarks/test_timeline_parity.py -q
+    cp benchmarks/output/timeline_parity.txt /tmp/parity_before.txt
+
+    # after the change (cached cells replay instantly where digests agree):
+    REPRO_SWEEP_STORE=.sweep_cache PYTHONPATH=src \
+        python -m pytest benchmarks/test_timeline_parity.py -q
+    diff /tmp/parity_before.txt benchmarks/output/timeline_parity.txt
+
+An empty diff is bit-exact parity.  Floats are rendered with ``repr`` so
+the file distinguishes values that differ only in the last ulp.
+
+The test itself asserts the structural invariants the rows rely on:
+every cell carries both a write-path and a read-path profile, and the
+write profile's fractions form a distribution (the aggregate face of
+timeline conservation — nothing double-counted, nothing dropped).
+"""
+
+import pytest
+
+
+def _render_rows(grid) -> str:
+    lines = []
+    for (app, scheme) in sorted(grid):
+        row = grid[(app, scheme)].summary_row()
+        cells = " ".join(f"{key}={value!r}"
+                         for key, value in sorted(row.items()))
+        lines.append(f"{app}/{scheme} {cells}")
+    return "\n".join(lines)
+
+
+def test_timeline_parity(evaluation_grid, emit):
+    emit("timeline_parity", _render_rows(evaluation_grid))
+
+    for (app, scheme), result in evaluation_grid.items():
+        breakdown_total = result.breakdown.total()
+        assert breakdown_total > 0.0, f"{app}/{scheme} has no write profile"
+        read_total = result.read_breakdown.total()
+        assert read_total > 0.0, f"{app}/{scheme} has no read profile"
+
+        # The profile fractions must form a distribution.
+        fractions = result.breakdown.as_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)

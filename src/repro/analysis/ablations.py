@@ -169,14 +169,15 @@ def ablate_comparison_read(app: str = "gcc", requests: int = 12_000,
     class TrustingESD(ESDScheme):
         name = "ESD_no_verify"
 
-        def _read_and_decrypt(self, frame, at_time_ns):
+        def _read_and_decrypt(self, frame, timeline, *, read_stage=None,
+                              decrypt_stage=None):
             # Trust the fingerprint: skip the PCM read, return the stored
             # plaintext functionally (so integrity checking still passes
-            # when no collision occurs) at zero latency.
+            # when no collision occurs) at zero latency — the timeline is
+            # deliberately left untouched.
             ciphertext = self.controller.device.read_line(frame)
             self.controller.device.read_ops -= 1  # not a modeled access
-            plaintext = self.crypto.decrypt_at(ciphertext, frame)
-            return plaintext, at_time_ns
+            return self.crypto.decrypt_at(ciphertext, frame)
 
     trusting = TrustingESD(system)
     engine = SimulationEngine(trusting)

@@ -22,8 +22,8 @@ from ..common.config import SystemConfig
 from ..common.stats import geometric_mean
 from ..common.types import CACHE_LINE_SIZE, WritePathStage
 from ..crypto.fingerprints import CRC32Engine, MD5Engine, SHA1Engine
-from ..dedup import SCHEME_NAMES
 from ..ecc.codec import ECCFingerprintEngine
+from ..registry import scheme_names
 from ..sim.engine import EngineConfig
 from ..sim.metrics import SimulationResult
 from ..sim.runner import ResultGrid, run_app, run_grid, ExperimentConfig, scaled_system_config
@@ -113,7 +113,7 @@ def fig2_worst_case(requests: int = 25_000,
     system = system or scaled_system_config()
     out: Dict[str, Dict[str, float]] = {}
     for app in WORST_CASE_APPS:
-        results = run_app(app, SCHEME_NAMES, requests=requests,
+        results = run_app(app, scheme_names(), requests=requests,
                           system=system, seed=seed)
         base_ipc = results["Baseline"].ipc
         out[app] = {name: r.ipc / base_ipc for name, r in results.items()}
@@ -303,7 +303,7 @@ def run_evaluation_grid(apps: Optional[Sequence[str]] = None,
     """
     config = ExperimentConfig(
         apps=list(apps) if apps is not None else list(REPRESENTATIVE_APPS),
-        schemes=list(SCHEME_NAMES),
+        schemes=list(scheme_names()),
         requests_per_app=requests,
         system=system or scaled_system_config(),
         engine=engine or EngineConfig(),

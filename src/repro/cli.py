@@ -25,28 +25,21 @@ from typing import List, Optional
 
 from .analysis.reporting import format_table
 from .common.units import kib
-from .dedup import SCHEME_NAMES, make_scheme
+from .dedup import make_scheme
+from .registry import resolve_scheme_name, scheme_names
 from .sim.engine import EngineConfig, SimulationEngine
 from .sim.runner import run_app, scaled_system_config
 from .workloads.generator import TraceGenerator
 from .workloads.profiles import app_names, get_profile
 from .workloads.trace import read_trace_list, write_trace
 
-#: The artifact's numeric scheme codes.
-SCHEME_CODES = {"0": "Baseline", "1": "Dedup_SHA1", "2": "DeWrite",
-                "3": "ESD"}
-
 
 def resolve_scheme(token: str) -> str:
-    """Accept '0'..'3' (artifact codes) or scheme names."""
-    if token in SCHEME_CODES:
-        return SCHEME_CODES[token]
-    for name in SCHEME_NAMES:
-        if token.lower() == name.lower():
-            return name
-    raise SystemExit(
-        f"unknown scheme {token!r}; use one of {list(SCHEME_CODES)} "
-        f"or {list(SCHEME_NAMES)}")
+    """Accept the artifact's numeric codes ('0'..'3') or scheme names."""
+    try:
+        return resolve_scheme_name(token)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _system_config(args) -> "SystemConfig":
@@ -101,11 +94,12 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run all four schemes on one application (paired trace)."""
-    results = run_app(args.app, SCHEME_NAMES, requests=args.requests,
+    evaluation = scheme_names()
+    results = run_app(args.app, evaluation, requests=args.requests,
                       system=_system_config(args), seed=args.seed)
     base = results["Baseline"]
     rows = []
-    for name in SCHEME_NAMES:
+    for name in evaluation:
         r = results[name]
         rows.append([
             name,
@@ -180,7 +174,7 @@ def _parse_sweep_apps(token: str) -> List[str]:
 
 def _parse_sweep_schemes(token: str) -> List[str]:
     if token == "all":
-        return list(SCHEME_NAMES)
+        return list(scheme_names())
     schemes = [resolve_scheme(t.strip())
                for t in token.split(",") if t.strip()]
     if not schemes:

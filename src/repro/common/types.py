@@ -187,7 +187,12 @@ class OperationCost:
 
 
 class WritePathStage(enum.Enum):
-    """Stages of the critical write path, as profiled in Figure 17."""
+    """Named stages of the request critical paths.
+
+    The first six are the write-path stages profiled in Figure 17; the
+    last two appear only on the read path (LLC miss fills), which folds
+    into a scheme's separate ``read_breakdown``.
+    """
 
     FINGERPRINT_COMPUTE = "fingerprint_compute"
     FINGERPRINT_NVMM_LOOKUP = "fingerprint_nvmm_lookup"
@@ -195,6 +200,10 @@ class WritePathStage(enum.Enum):
     WRITE_UNIQUE = "write_unique"
     ENCRYPTION = "encryption"
     METADATA = "metadata"
+    #: Read path only: the PCM array access serving a miss fill.
+    READ_FILL = "read_fill"
+    #: Read path only: counter-mode decryption of the fetched line.
+    DECRYPTION = "decryption"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -19,6 +19,10 @@ The write pipeline (Figure 9):
 Every dropped write is a PCM write (150 ns, 6.75 nJ) traded for at most a
 PCM read (75 ns, 1.49 nJ) plus an on-chip compare — the asymmetric
 read/write economics the design leans on.
+
+The on-chip EFIT probe is charged to the METADATA stage: it is metadata
+machinery, not a fingerprint computation or an NVMM fingerprint lookup —
+ESD's breakdown deliberately never contains a FINGERPRINT_* stage.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..common.config import SystemConfig
+from ..common.timeline import StageTimeline
 from ..common.types import (
     CACHE_LINE_SIZE,
     MemoryRequest,
@@ -35,14 +40,14 @@ from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..dedup.base import DedupScheme, MetadataFootprint, ReadResult, WriteResult
 from ..dedup.mapping import FrameRefcounts
 from ..ecc.codec import line_ecc
+from ..registry import register_scheme
 from .amt import AddressMappingTable
 from .efit import EFIT, EFIT_ENTRY_SIZE
 
 
+@register_scheme("ESD", evaluation=True, code="3")
 class ESDScheme(DedupScheme):
     """ECC-assisted selective deduplication for encrypted NVMM."""
-
-    name = "ESD"
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  costs: CryptoCosts = DEFAULT_COSTS) -> None:
@@ -69,28 +74,23 @@ class ESDScheme(DedupScheme):
                 self.efit.remove(ecc)
 
     def _write_unique(self, request: MemoryRequest, ecc: int,
-                      at_time_ns: float,
-                      stages: Dict[WritePathStage, float],
+                      timeline: StageTimeline,
                       *, index_in_efit: bool) -> WriteResult:
         """Encrypt + write a non-duplicate line, then update metadata."""
         assert request.data is not None
         self._release_previous(request.line_index)
         frame = self.allocator.allocate()
-        completion = self._encrypt_and_write(frame, request.data,
-                                             at_time_ns, stages)
+        self._encrypt_and_write(frame, request.data, timeline)
         self.refcounts.acquire(frame)
         if index_in_efit:
             evicted_frame = self.efit.insert(ecc, frame)
             if evicted_frame is not None:
                 self._frame_ecc.pop(evicted_frame, None)
             self._frame_ecc[frame] = ecc
-        t = self.amt.update(request.line_index, frame, completion)
-        stages[WritePathStage.METADATA] = stages.get(
-            WritePathStage.METADATA, 0.0) + (t - completion)
-        self._record_write(stages)
-        return WriteResult(completion_ns=t,
-                           latency_ns=t - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        t = self.amt.update(request.line_index, frame, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
     # ------------------------------------------------------------------
     # Request handlers
@@ -99,32 +99,31 @@ class ESDScheme(DedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
+        timeline = self._timeline(request)
 
         # 1. ECC fingerprint: already computed by the controller — free.
         ecc = line_ecc(request.data)
 
         # 2. On-chip EFIT probe; the only fingerprint lookup ESD ever does.
         entry, probe_ns = self.efit.lookup(ecc)
-        t = request.issue_time_ns + probe_ns
+        timeline.serial(WritePathStage.METADATA, probe_ns)
 
         if entry is None:
             # Miss: definitively treated as non-duplicate; index it.
-            return self._write_unique(request, ecc, t, stages,
+            return self._write_unique(request, ecc, timeline,
                                       index_in_efit=True)
 
         # 3. Similar line found: confirm with a byte-by-byte comparison.
-        stored, t_read = self._read_and_decrypt(entry.frame, t)
-        t_read += self._charge_compare()
-        stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
-        t = t_read
+        stored = self._read_and_decrypt(entry.frame, timeline)
+        timeline.serial(WritePathStage.READ_FOR_COMPARISON,
+                        self._charge_compare())
 
         if stored != request.data:
             # ECC collision: same fingerprint, different content.  The
             # entry keeps its frame; the incoming line is written fresh
             # (and is not indexed — its ECC slot is taken).
             self.counters.incr("ecc_collisions")
-            return self._write_unique(request, ecc, t, stages,
+            return self._write_unique(request, ecc, timeline,
                                       index_in_efit=False)
 
         if self.efit.refer_h_saturated(ecc):
@@ -133,7 +132,7 @@ class ESDScheme(DedupScheme):
             # (Section III-D).
             self.counters.incr("referh_overflows")
             self._frame_ecc.pop(entry.frame, None)
-            result = self._write_unique(request, ecc, t, stages,
+            result = self._write_unique(request, ecc, timeline,
                                         index_in_efit=False)
             new_frame = self.amt.current_frame(request.line_index)
             assert new_frame is not None
@@ -149,24 +148,24 @@ class ESDScheme(DedupScheme):
         self.refcounts.acquire(entry.frame)
         self._release_previous(request.line_index)
         self.efit.record_duplicate(ecc)
-        t2 = self.amt.update(request.line_index, entry.frame, t)
-        stages[WritePathStage.METADATA] = stages.get(
-            WritePathStage.METADATA, 0.0) + (t2 - t)
-        self._record_write(stages)
-        return WriteResult(completion_ns=t2,
-                           latency_ns=t2 - request.issue_time_ns,
-                           deduplicated=True, wrote_line=False, stages=stages)
+        t2 = self.amt.update(request.line_index, entry.frame, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t2)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=True, wrote_line=False)
 
     def handle_read(self, request: MemoryRequest) -> ReadResult:
         self.counters.incr("reads")
-        frame, t, _hit = self.amt.lookup(request.line_index,
-                                         request.issue_time_ns)
+        timeline = self._timeline(request)
+        frame, t, _hit = self.amt.lookup(request.line_index, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t)
         if frame is None:
-            return ReadResult(data=bytes(CACHE_LINE_SIZE), completion_ns=t,
-                              latency_ns=t - request.issue_time_ns)
-        plaintext, completion = self._read_and_decrypt(frame, t)
-        return ReadResult(data=plaintext, completion_ns=completion,
-                          latency_ns=completion - request.issue_time_ns)
+            return self._finalize_read(request, timeline,
+                                       bytes(CACHE_LINE_SIZE))
+        plaintext = self._read_and_decrypt(
+            frame, timeline,
+            read_stage=WritePathStage.READ_FILL,
+            decrypt_stage=WritePathStage.DECRYPTION)
+        return self._finalize_read(request, timeline, plaintext)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..common.config import SystemConfig
+from ..common.timeline import StageTimeline
 from ..common.types import (
     CACHE_LINE_SIZE,
     MemoryRequest,
@@ -42,6 +43,7 @@ from ..common.types import (
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..dedup.base import ReadResult, WriteResult
 from ..ecc.codec import line_ecc
+from ..registry import register_scheme
 from .esd import ESDScheme
 
 
@@ -76,10 +78,9 @@ class DeltaRecord:
         return len(self.words) * 9
 
 
+@register_scheme("ESD-Delta")
 class ESDDeltaScheme(ESDScheme):
     """ESD extended with word-granular delta deduplication."""
-
-    name = "ESD-Delta"
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  costs: CryptoCosts = DEFAULT_COSTS, *,
@@ -173,27 +174,24 @@ class ESDDeltaScheme(ESDScheme):
             return result
 
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
-        t = request.issue_time_ns + self.efit.probe_latency_ns
+        timeline = self._timeline(request)
+        timeline.serial(WritePathStage.METADATA, self.efit.probe_latency_ns)
 
         # Partial-match attempt.
         for candidate in self._candidate_frames(ecc):
-            stored, t_read = self._read_and_decrypt(candidate, t)
-            t_read += self._charge_compare()
-            stages[WritePathStage.READ_FOR_COMPARISON] = stages.get(
-                WritePathStage.READ_FOR_COMPARISON, 0.0) + (t_read - t)
-            t = t_read
+            stored = self._read_and_decrypt(candidate, timeline)
+            timeline.serial(WritePathStage.READ_FOR_COMPARISON,
+                            self._charge_compare())
             diff = {i: request.data[i * 8:(i + 1) * 8]
                     for i in range(WORDS_PER_LINE)
                     if stored[i * 8:(i + 1) * 8]
                     != request.data[i * 8:(i + 1) * 8]}
             if len(diff) <= WORDS_PER_LINE - self.min_matching_words:
-                return self._commit_delta(request, candidate, diff, t,
-                                          stages)
+                return self._commit_delta(request, candidate, diff, timeline)
 
         # No similar base: unique full-line write (ESD's path), and index
         # the new line's word signature for future partial matches.
-        result = self._write_unique(request, ecc, t, stages,
+        result = self._write_unique(request, ecc, timeline,
                                     index_in_efit=True)
         frame = self.amt.current_frame(request.line_index)
         if frame is not None:
@@ -201,8 +199,8 @@ class ESDDeltaScheme(ESDScheme):
         return result
 
     def _commit_delta(self, request: MemoryRequest, base_frame: int,
-                      diff: Dict[int, bytes], at_time_ns: float,
-                      stages: Dict[WritePathStage, float]) -> WriteResult:
+                      diff: Dict[int, bytes],
+                      timeline: StageTimeline) -> WriteResult:
         """Store the line as base + differing words."""
         assert request.data is not None
         self.counters.incr("delta_hits")
@@ -226,15 +224,11 @@ class ESDDeltaScheme(ESDScheme):
         # Deltas live in a dedicated region keyed by the logical line.
         fraction = min(1.0, max(1, record.delta_bytes) / CACHE_LINE_SIZE)
         result = self.controller.write_partial(
-            request.line_index ^ 0x5DE17A, fraction, at_time_ns)
-        stages[WritePathStage.WRITE_UNIQUE] = stages.get(
-            WritePathStage.WRITE_UNIQUE, 0.0) + result.latency_ns
-        completion = result.completion_ns
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=True, wrote_line=False,
-                           stages=stages)
+            request.line_index ^ 0x5DE17A, fraction, timeline.now)
+        timeline.advance_to(WritePathStage.WRITE_UNIQUE,
+                            result.completion_ns)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=True, wrote_line=False)
 
     # ------------------------------------------------------------------
     # Read path
@@ -245,15 +239,18 @@ class ESDDeltaScheme(ESDScheme):
         if record is None:
             return super().handle_read(request)
         self.counters.incr("reads")
+        timeline = self._timeline(request)
         # Base read + delta-region read.
-        base_plain, t = self._read_and_decrypt(record.base_frame,
-                                               request.issue_time_ns)
+        base_plain = self._read_and_decrypt(
+            record.base_frame, timeline,
+            read_stage=WritePathStage.READ_FILL,
+            decrypt_stage=WritePathStage.DECRYPTION)
         delta_access = self.controller.metadata_read(
-            request.line_index ^ 0x5DE17A, t)
-        t = delta_access.completion_ns
+            request.line_index ^ 0x5DE17A, timeline.now)
+        timeline.advance_to(WritePathStage.READ_FILL,
+                            delta_access.completion_ns)
         data = record.reconstruct(base_plain)
-        return ReadResult(data=data, completion_ns=t,
-                          latency_ns=t - request.issue_time_ns)
+        return self._finalize_read(request, timeline, data)
 
     # ------------------------------------------------------------------
     # Reporting

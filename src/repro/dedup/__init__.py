@@ -1,7 +1,11 @@
 """Deduplication scheme zoo: Baseline, Dedup_SHA1, DeWrite (+ shared parts).
 
-The ESD scheme itself lives in :mod:`repro.core`; :func:`make_scheme` builds
-any of the four by name.
+The ESD scheme itself lives in :mod:`repro.core`; both packages register
+their schemes into :mod:`repro.registry`, the single source of truth for
+names and construction.  ``SCHEME_NAMES``, ``EXTENDED_SCHEME_NAMES``, and
+``make_scheme`` are kept here as lazy aliases (PEP 562) so existing
+imports keep working without forcing every scheme module to load at
+package-import time.
 """
 
 from typing import Optional
@@ -18,43 +22,30 @@ from .full_dedup import FullDedupScheme
 from .mapping import FrameRefcounts, MappingTable
 from .predictor import DuplicationPredictor, PredictionStats
 
-#: Scheme names in the paper's presentation order (the evaluation grid).
-SCHEME_NAMES = ("Baseline", "Dedup_SHA1", "DeWrite", "ESD")
-
-#: Additional schemes: the paper's rejected motivation orderings
-#: (Section II-C), the NV-Dedup related work, and the ESD-Delta extension.
-EXTENDED_SCHEME_NAMES = SCHEME_NAMES + ("DaE", "PDE", "NV-Dedup",
-                                        "ESD-Delta")
-
 
 def make_scheme(name: str, config: Optional[SystemConfig] = None,
                 costs: CryptoCosts = DEFAULT_COSTS) -> DedupScheme:
-    """Instantiate a scheme by its paper name.
+    """Instantiate a registered scheme by its paper name.
 
-    Accepts the evaluation schemes ``Baseline``, ``Dedup_SHA1``,
-    ``DeWrite``, ``ESD`` plus the motivation schemes ``DaE`` and ``PDE``.
+    Accepts every name in the registry: the evaluation schemes
+    ``Baseline``, ``Dedup_SHA1``, ``DeWrite``, ``ESD`` plus the extended
+    comparison points (``DaE``, ``PDE``, ``NV-Dedup``, ``ESD-Delta``).
     """
-    if name == "Baseline":
-        return BaselineScheme(config, costs)
-    if name == "Dedup_SHA1":
-        return DedupSHA1Scheme(config, costs)
-    if name == "DeWrite":
-        return DeWriteScheme(config, costs)
-    if name == "ESD":
-        from ..core.esd import ESDScheme
-        return ESDScheme(config, costs)
-    if name == "DaE":
-        return DaEScheme(config, costs)
-    if name == "PDE":
-        return PDEScheme(config, costs)
-    if name == "NV-Dedup":
-        from .nvdedup import NVDedupScheme
-        return NVDedupScheme(config, costs)
-    if name == "ESD-Delta":
-        from ..core.esd_delta import ESDDeltaScheme
-        return ESDDeltaScheme(config, costs)
-    raise ValueError(
-        f"unknown scheme {name!r}; known: {EXTENDED_SCHEME_NAMES}")
+    from .. import registry
+    return registry.scheme_info(name).cls(config, costs)
+
+
+def __getattr__(name: str):
+    # Lazy aliases over the registry: resolving them here (rather than at
+    # import time) avoids binding a stale tuple while the scheme modules
+    # are still being imported.
+    if name == "SCHEME_NAMES":
+        from .. import registry
+        return registry.scheme_names()
+    if name == "EXTENDED_SCHEME_NAMES":
+        from .. import registry
+        return registry.registered_scheme_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

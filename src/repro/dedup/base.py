@@ -11,18 +11,25 @@ A scheme owns:
 * an :class:`~repro.nvmm.energy.EnergyAccount` for crypto/fingerprint energy
   (PCM energy is accounted inside the controller),
 * a :class:`~repro.common.types.LatencyBreakdown` accumulating the Figure 17
-  write-path profile,
+  write-path profile (and a second one for the read path),
 * counters for dedup effectiveness (duplicates eliminated, writes issued).
+
+Request handlers declare their pipeline on a
+:class:`~repro.common.timeline.StageTimeline` and finish through
+:meth:`DedupScheme._finalize_write` / :meth:`DedupScheme._finalize_read`,
+the single point where a request's sealed timeline folds into the scheme's
+running breakdowns.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..common.config import SystemConfig
 from ..common.stats import Counter
+from ..common.timeline import StageTimeline
 from ..common.types import (
     LatencyBreakdown,
     MemoryRequest,
@@ -34,6 +41,9 @@ from ..nvmm.allocator import FrameAllocator
 from ..nvmm.controller import MemoryController
 from ..nvmm.energy import EnergyAccount, EnergyCategory
 
+if TYPE_CHECKING:
+    from ..crypto.integrity import CounterIntegrityTree
+
 
 @dataclass(frozen=True)
 class WriteResult:
@@ -44,8 +54,15 @@ class WriteResult:
     deduplicated: bool
     #: True when a data line was physically written to PCM.
     wrote_line: bool
-    #: Per-stage latency of this write (feeds Figure 17).
-    stages: Dict[WritePathStage, float] = field(default_factory=dict)
+    #: The sealed per-request timeline (critical path + stage exposures).
+    timeline: Optional[StageTimeline] = None
+
+    @property
+    def stages(self) -> Dict[WritePathStage, float]:
+        """Per-stage exposed latency of this write (feeds Figure 17)."""
+        if self.timeline is None:
+            return {}
+        return self.timeline.exposures
 
 
 @dataclass(frozen=True)
@@ -55,6 +72,8 @@ class ReadResult:
     data: bytes
     completion_ns: float
     latency_ns: float
+    #: The sealed per-request timeline (critical path + stage exposures).
+    timeline: Optional[StageTimeline] = None
 
 
 @dataclass(frozen=True)
@@ -73,7 +92,7 @@ class DedupScheme(abc.ABC):
     """Base class wiring the shared substrates together."""
 
     #: Scheme identifier used in results tables ("Baseline", "Dedup_SHA1",
-    #: "DeWrite", "ESD").
+    #: "DeWrite", "ESD").  Set by the ``@register_scheme`` decorator.
     name: str = "abstract"
 
     def __init__(self, config: Optional[SystemConfig] = None,
@@ -85,9 +104,10 @@ class DedupScheme(abc.ABC):
         self.crypto = CounterModeEngine(costs=costs)
         self.crypto_energy = EnergyAccount()
         self.breakdown = LatencyBreakdown()
+        self.read_breakdown = LatencyBreakdown()
         self.counters = Counter()
         #: Optional counter-integrity tree (Section III-E trust model).
-        self.integrity_tree = None
+        self.integrity_tree: Optional["CounterIntegrityTree"] = None
         if self.config.protect_counters:
             from ..crypto.integrity import CounterIntegrityTree
             self.integrity_tree = CounterIntegrityTree(
@@ -126,59 +146,104 @@ class DedupScheme(abc.ABC):
         """Current measured metadata space consumption."""
 
     # ------------------------------------------------------------------
+    # Timeline lifecycle
+    # ------------------------------------------------------------------
+
+    def _timeline(self, request: MemoryRequest) -> StageTimeline:
+        """Open a timeline at the request's arrival at the controller."""
+        return StageTimeline(request.issue_time_ns)
+
+    def _finalize_write(self, request: MemoryRequest,
+                        timeline: StageTimeline, *,
+                        deduplicated: bool,
+                        wrote_line: bool) -> WriteResult:
+        """Seal a write's timeline and fold it into the running breakdown.
+
+        The single instrumentation point of the write path: sealing checks
+        stage conservation, folding accumulates the Figure 17 profile, and
+        the reported latency is the timeline's critical path by
+        construction.
+        """
+        timeline.seal()
+        timeline.fold_into(self.breakdown)
+        return WriteResult(
+            completion_ns=timeline.now,
+            latency_ns=timeline.now - request.issue_time_ns,
+            deduplicated=deduplicated,
+            wrote_line=wrote_line,
+            timeline=timeline,
+        )
+
+    def _finalize_read(self, request: MemoryRequest,
+                       timeline: StageTimeline,
+                       data: bytes) -> ReadResult:
+        """Seal a read's timeline and fold it into ``read_breakdown``."""
+        timeline.seal()
+        timeline.fold_into(self.read_breakdown)
+        return ReadResult(
+            data=data,
+            completion_ns=timeline.now,
+            latency_ns=timeline.now - request.issue_time_ns,
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------
     # Shared building blocks
     # ------------------------------------------------------------------
 
-    def _charge_fingerprint(self, latency_ns: float, energy_nj: float) -> None:
+    def _charge_fingerprint(self, energy_nj: float) -> None:
+        """Account fingerprint energy; its latency lives on the timeline."""
         self.crypto_energy.charge(EnergyCategory.FINGERPRINT, energy_nj)
-        self.breakdown.add(WritePathStage.FINGERPRINT_COMPUTE, latency_ns)
 
     def _encrypt_and_write(self, frame: int, plaintext: bytes,
-                           at_time_ns: float,
-                           stages: Dict[WritePathStage, float]) -> float:
-        """Encrypt a line and write its ciphertext to PCM; returns completion."""
+                           timeline: StageTimeline) -> None:
+        """Encrypt a line and write its ciphertext to PCM.
+
+        Declares ENCRYPTION (plus the counter-tree METADATA update when
+        enabled) serially, then advances to the controller's completion,
+        charging the full queueing-inclusive access to WRITE_UNIQUE.
+        """
         enc = self.crypto.encrypt(plaintext, frame)
         self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
                                   self.crypto.encrypt_energy_nj)
-        t = at_time_ns + self.crypto.encrypt_latency_ns
-        stages[WritePathStage.ENCRYPTION] = stages.get(
-            WritePathStage.ENCRYPTION, 0.0) + self.crypto.encrypt_latency_ns
+        timeline.serial(WritePathStage.ENCRYPTION,
+                        self.crypto.encrypt_latency_ns)
         tree_ns = self._integrity_update(frame)
         if tree_ns:
-            stages[WritePathStage.METADATA] = stages.get(
-                WritePathStage.METADATA, 0.0) + tree_ns
-            t += tree_ns
-        result = self.controller.write(frame, enc.ciphertext, t)
-        stages[WritePathStage.WRITE_UNIQUE] = stages.get(
-            WritePathStage.WRITE_UNIQUE, 0.0) + result.latency_ns
-        return result.completion_ns
+            timeline.serial(WritePathStage.METADATA, tree_ns)
+        result = self.controller.write(frame, enc.ciphertext, timeline.now)
+        timeline.advance_to(WritePathStage.WRITE_UNIQUE,
+                            result.completion_ns)
 
-    def _read_and_decrypt(self, frame: int, at_time_ns: float) -> "tuple[bytes, float]":
-        """Read a frame and decrypt it; returns (plaintext, completion).
+    def _read_and_decrypt(
+            self, frame: int, timeline: StageTimeline, *,
+            read_stage: WritePathStage = WritePathStage.READ_FOR_COMPARISON,
+            decrypt_stage: Optional[WritePathStage] = None) -> bytes:
+        """Read a frame and decrypt it, declaring the work on ``timeline``.
 
         With ``protect_counters`` enabled, the counter's integrity path is
-        verified (overlapping the PCM read; only the excess is exposed).
+        verified as a METADATA branch overlapping the (usually slower) PCM
+        array access; joining the branch exposes only its excess.
         """
-        ciphertext, access = self.controller.read(frame, at_time_ns)
+        ciphertext, access = self.controller.read(frame, timeline.now)
         tree_ns = self._integrity_verify(frame)
+        tree_leg = (timeline.overlap_with(WritePathStage.METADATA, tree_ns)
+                    if tree_ns else None)
+        timeline.advance_to(read_stage, access.completion_ns)
+        if tree_leg is not None:
+            timeline.join(tree_leg)
         self.crypto_energy.charge(EnergyCategory.DECRYPTION,
                                   self.crypto.decrypt_energy_nj)
         plaintext = self.crypto.decrypt_at(ciphertext, frame)
-        completion = access.completion_ns + self.crypto.decrypt_latency_ns
-        # The tree walk overlaps the (slower) PCM array access.
-        exposed_tree = max(0.0, at_time_ns + tree_ns - access.completion_ns)
-        return plaintext, completion + exposed_tree
+        timeline.serial(decrypt_stage or read_stage,
+                        self.crypto.decrypt_latency_ns)
+        return plaintext
 
     def _charge_compare(self) -> float:
         """Account one byte-by-byte line comparison; returns its latency."""
         self.crypto_energy.charge(EnergyCategory.COMPARISON,
                                   self.costs.compare.energy_nj)
         return self.costs.compare.latency_ns
-
-    def _record_write(self, stages: Dict[WritePathStage, float]) -> None:
-        """Fold one write's stage latencies into the running breakdown."""
-        for stage, latency in stages.items():
-            self.breakdown.add(stage, latency)
 
     # ------------------------------------------------------------------
     # Reporting

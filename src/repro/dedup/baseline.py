@@ -17,13 +17,13 @@ from ..common.types import (
     WritePathStage,
 )
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
+from ..registry import register_scheme
 from .base import DedupScheme, MetadataFootprint, ReadResult, WriteResult
 
 
+@register_scheme("Baseline", evaluation=True, code="0")
 class BaselineScheme(DedupScheme):
     """No deduplication: encrypt + write in place."""
-
-    name = "Baseline"
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  costs: CryptoCosts = DEFAULT_COSTS) -> None:
@@ -40,30 +40,30 @@ class BaselineScheme(DedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
+        timeline = self._timeline(request)
         frame = self._frame_for(request.line_index)
-        completion = self._encrypt_and_write(frame, request.data,
-                                             request.issue_time_ns, stages)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self._encrypt_and_write(frame, request.data, timeline)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
     def handle_read(self, request: MemoryRequest) -> ReadResult:
         self.counters.incr("reads")
+        timeline = self._timeline(request)
         frame = self._frames.get(request.line_index)
         if frame is None:
             # Unwritten memory: the access still round-trips to PCM.  Map the
             # logical line onto a frame so repeated reads hit the same bank.
             frame = self._frame_for(request.line_index)
-            _, access = self.controller.read(frame, request.issue_time_ns)
-            return ReadResult(data=bytes(CACHE_LINE_SIZE),
-                              completion_ns=access.completion_ns,
-                              latency_ns=access.latency_ns)
-        plaintext, completion = self._read_and_decrypt(frame,
-                                                       request.issue_time_ns)
-        return ReadResult(data=plaintext, completion_ns=completion,
-                          latency_ns=completion - request.issue_time_ns)
+            _, access = self.controller.read(frame, timeline.now)
+            timeline.advance_to(WritePathStage.READ_FILL,
+                                access.completion_ns)
+            return self._finalize_read(request, timeline,
+                                       bytes(CACHE_LINE_SIZE))
+        plaintext = self._read_and_decrypt(
+            frame, timeline,
+            read_stage=WritePathStage.READ_FILL,
+            decrypt_stage=WritePathStage.DECRYPTION)
+        return self._finalize_read(request, timeline, plaintext)
 
     def metadata_footprint(self) -> MetadataFootprint:
         """Baseline keeps no dedup metadata."""

@@ -23,17 +23,19 @@ Dedup_SHA1 are the pipeline orderings under study.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..common.config import SystemConfig
 from ..common.types import MemoryRequest, WritePathStage
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..crypto.fingerprints import SHA1Engine
 from ..nvmm.energy import EnergyCategory
+from ..registry import register_scheme
 from .base import WriteResult
 from .full_dedup import FullDedupScheme
 
 
+@register_scheme("DaE")
 class DaEScheme(FullDedupScheme):
     """Deduplication-after-Encryption: fingerprint the ciphertext.
 
@@ -42,7 +44,6 @@ class DaEScheme(FullDedupScheme):
     DaE "is not applicable" to encrypted NVMM.
     """
 
-    name = "DaE"
     fingerprint_entry_size = 26
 
     def __init__(self, config: Optional[SystemConfig] = None,
@@ -53,8 +54,7 @@ class DaEScheme(FullDedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
-        t = request.issue_time_ns
+        timeline = self._timeline(request)
 
         # 1. Encrypt first (DaE's defining order).  The frame must be
         # allocated before encryption because the pad binds to it.
@@ -64,49 +64,43 @@ class DaEScheme(FullDedupScheme):
         self._integrity_update(frame)
         self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
                                   self.crypto.encrypt_energy_nj)
-        stages[WritePathStage.ENCRYPTION] = self.crypto.encrypt_latency_ns
-        t += self.crypto.encrypt_latency_ns
+        timeline.serial(WritePathStage.ENCRYPTION,
+                        self.crypto.encrypt_latency_ns)
 
         # 2. Fingerprint the *ciphertext*.
         fingerprint = self.engine.fingerprint(encrypted.ciphertext)
-        self._charge_fingerprint(self.engine.latency_ns, self.engine.energy_nj)
-        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.engine.latency_ns
-        t += self.engine.latency_ns
+        self._charge_fingerprint(self.engine.energy_nj)
+        timeline.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                        self.engine.latency_ns)
 
         # 3. Lookup.  Diffusion makes a hit essentially impossible, but the
         # pipeline is honest: a hit would dedup.
-        lookup = self.store.lookup(fingerprint, t)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - t)
-        t = lookup.completion_ns
+        lookup = self.store.lookup(fingerprint, timeline.now)
+        timeline.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                            lookup.completion_ns)
 
         if lookup.found:
             # The allocated frame is not needed after all.
             self.allocator.free(frame)
             assert lookup.frame is not None
-            completion = self._commit_duplicate(request.line_index,
-                                                lookup.frame, t, stages)
-            self._record_write(stages)
-            return WriteResult(completion_ns=completion,
-                               latency_ns=completion - request.issue_time_ns,
-                               deduplicated=True, wrote_line=False,
-                               stages=stages)
+            self._commit_duplicate(request.line_index, lookup.frame, timeline)
+            return self._finalize_write(request, timeline,
+                                        deduplicated=True, wrote_line=False)
 
         # 4. Unique: the ciphertext is already made; write it out.
-        result = self.controller.write(frame, encrypted.ciphertext, t)
-        stages[WritePathStage.WRITE_UNIQUE] = result.latency_ns
-        t = result.completion_ns
+        result = self.controller.write(frame, encrypted.ciphertext,
+                                       timeline.now)
+        timeline.advance_to(WritePathStage.WRITE_UNIQUE, result.completion_ns)
         self.refcounts.acquire(frame)
         self._frame_fingerprint[frame] = fingerprint
-        self.store.insert(fingerprint, frame, t)
-        t2 = self.mapping.update(request.line_index, frame, t)
-        stages[WritePathStage.METADATA] = t2 - t
-        self._record_write(stages)
-        return WriteResult(completion_ns=t2,
-                           latency_ns=t2 - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self.store.insert(fingerprint, frame, timeline.now)
+        t2 = self.mapping.update(request.line_index, frame, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t2)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
 
+@register_scheme("PDE")
 class PDEScheme(FullDedupScheme):
     """Parallelism of Deduplication and Encryption.
 
@@ -117,7 +111,6 @@ class PDEScheme(FullDedupScheme):
     energy pays both operations on all lines.
     """
 
-    name = "PDE"
     fingerprint_entry_size = 26
 
     def __init__(self, config: Optional[SystemConfig] = None,
@@ -128,45 +121,40 @@ class PDEScheme(FullDedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
-        t0 = request.issue_time_ns
+        timeline = self._timeline(request)
 
-        # Fingerprint and encryption in parallel; both energies are spent
-        # unconditionally (PDE's defining property).
+        # Fingerprint and encryption start together as concurrent branches;
+        # both energies are spent unconditionally (PDE's defining property).
         fingerprint = self.engine.fingerprint(request.data)
-        self._charge_fingerprint(0.0, self.engine.energy_nj)
+        self._charge_fingerprint(self.engine.energy_nj)
         self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
                                   self.crypto.encrypt_energy_nj)
-        hash_done = t0 + self.engine.latency_ns
-        encrypt_done = t0 + self.crypto.encrypt_latency_ns
+        enc_leg = timeline.overlap_with(WritePathStage.ENCRYPTION,
+                                        self.crypto.encrypt_latency_ns)
+        fp_leg = timeline.branch()
+        fp_leg.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                      self.engine.latency_ns)
 
-        # The lookup needs the fingerprint, so the hash time beyond the
-        # (overlapped) encryption is exposed on the commit path.
-        lookup = self.store.lookup(fingerprint, hash_done)
-        stages[WritePathStage.FINGERPRINT_COMPUTE] = max(
-            0.0, hash_done - encrypt_done)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - hash_done)
-        t = lookup.completion_ns
+        # The lookup needs the fingerprint, so it starts when the hash ends.
+        lookup = self.store.lookup(fingerprint, fp_leg.now)
+        fp_leg.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                          lookup.completion_ns)
 
         if lookup.found:
-            # Duplicate: the parallel encryption was wasted energy.
+            # Duplicate: the parallel encryption was wasted energy; its
+            # branch is never joined, so the discarded work costs no time.
             self.counters.incr("wasted_encryptions")
             assert lookup.frame is not None
-            completion = self._commit_duplicate(request.line_index,
-                                                lookup.frame, t, stages)
-            self._record_write(stages)
-            return WriteResult(completion_ns=completion,
-                               latency_ns=completion - request.issue_time_ns,
-                               deduplicated=True, wrote_line=False,
-                               stages=stages)
+            timeline.join(fp_leg)
+            self._commit_duplicate(request.line_index, lookup.frame, timeline)
+            return self._finalize_write(request, timeline,
+                                        deduplicated=True, wrote_line=False)
 
-        # Unique: commit once both the lookup and the encryption are done.
-        t_commit = max(t, encrypt_done)
-        _frame, completion = self._commit_unique(
-            request.line_index, fingerprint, request.data, t_commit, stages,
-            pre_encrypted_completion=t_commit)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        # Unique: commit once both the encryption and the fingerprint leg
+        # (hash + confirming lookup) are done.
+        timeline.join(enc_leg)
+        timeline.join(fp_leg)
+        self._commit_unique(request.line_index, fingerprint, request.data,
+                            timeline, pre_encrypted=True)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)

@@ -15,20 +15,21 @@ never see one), so duplicates are *not* verified by a comparison read.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..common.config import SystemConfig
 from ..common.types import MemoryRequest, WritePathStage
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..crypto.fingerprints import SHA1Engine
+from ..registry import register_scheme
 from .base import WriteResult
 from .full_dedup import FullDedupScheme
 
 
+@register_scheme("Dedup_SHA1", evaluation=True, code="1")
 class DedupSHA1Scheme(FullDedupScheme):
     """Traditional SHA-1 full deduplication (the paper's Dedup_SHA1)."""
 
-    name = "Dedup_SHA1"
     #: 20 B digest + 5 B packed frame address + 1 B refcount, padded to the
     #: store's slot granularity.
     fingerprint_entry_size = 26
@@ -41,36 +42,28 @@ class DedupSHA1Scheme(FullDedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
-        t = request.issue_time_ns
+        timeline = self._timeline(request)
 
         # 1. Serial fingerprint computation on the critical path.
         fingerprint = self.engine.fingerprint(request.data)
-        self._charge_fingerprint(self.engine.latency_ns, self.engine.energy_nj)
-        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.engine.latency_ns
-        t += self.engine.latency_ns
+        self._charge_fingerprint(self.engine.energy_nj)
+        timeline.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                        self.engine.latency_ns)
 
         # 2. Index lookup: cache first, NVMM on miss.
-        lookup = self.store.lookup(fingerprint, t)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - t)
-        t = lookup.completion_ns
+        lookup = self.store.lookup(fingerprint, timeline.now)
+        timeline.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                            lookup.completion_ns)
 
         if lookup.found:
             # 3a. Duplicate: remap, eliminating the write entirely.
             assert lookup.frame is not None
-            completion = self._commit_duplicate(request.line_index,
-                                                lookup.frame, t, stages)
-            self._record_write(stages)
-            return WriteResult(completion_ns=completion,
-                               latency_ns=completion - request.issue_time_ns,
-                               deduplicated=True, wrote_line=False,
-                               stages=stages)
+            self._commit_duplicate(request.line_index, lookup.frame, timeline)
+            return self._finalize_write(request, timeline,
+                                        deduplicated=True, wrote_line=False)
 
         # 3b. Unique: encrypt + write + index + remap, all serial.
-        _frame, completion = self._commit_unique(
-            request.line_index, fingerprint, request.data, t, stages)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self._commit_unique(request.line_index, fingerprint, request.data,
+                            timeline)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)

@@ -11,10 +11,11 @@ two pipelines selected by a duplication predictor:
   eliminates the write; a mis-prediction (F2) has paid CRC + lookup +
   compare before falling back to encrypt-and-write, all serial — the
   paper's worst case.
-* **Predicted unique (parallel)** — CRC and encryption start together, so
-  the CRC's latency hides under the (longer) encryption (T3).  The lookup
-  still must confirm uniqueness before the write commits; when the line was
-  actually a duplicate (F4), the speculative encryption was wasted energy.
+* **Predicted unique (parallel)** — CRC and encryption start together as
+  two timeline branches, so the CRC's latency hides under the (longer)
+  encryption (T3).  The lookup still must confirm uniqueness before the
+  write commits; when the line was actually a duplicate (F4), the
+  speculative encryption was wasted energy and its branch is never joined.
 
 Both pipelines inherit full deduplication's fingerprint NVMM_lookup cost on
 every fingerprint-cache miss.
@@ -22,22 +23,24 @@ every fingerprint-cache miss.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..common.config import SystemConfig
+from ..common.timeline import StageTimeline
 from ..common.types import MemoryRequest, WritePathStage
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..crypto.fingerprints import CRC32Engine
 from ..nvmm.energy import EnergyCategory
+from ..registry import register_scheme
 from .base import WriteResult
 from .full_dedup import FullDedupScheme
 from .predictor import DuplicationPredictor
 
 
+@register_scheme("DeWrite", evaluation=True, code="2")
 class DeWriteScheme(FullDedupScheme):
     """DeWrite (MICRO'18): CRC + prediction + parallel encryption."""
 
-    name = "DeWrite"
     #: The paper quotes (16 bytes + 3 bits) of metadata per physical line.
     fingerprint_entry_size = 17
 
@@ -54,122 +57,107 @@ class DeWriteScheme(FullDedupScheme):
     # ------------------------------------------------------------------
 
     def _write_predicted_duplicate(self, request: MemoryRequest,
-                                   stages: Dict[WritePathStage, float]
-                                   ) -> WriteResult:
+                                   timeline: StageTimeline) -> WriteResult:
         """Serial pipeline: CRC -> lookup -> read-and-compare -> commit."""
         assert request.data is not None
-        t = request.issue_time_ns
 
         fingerprint = self.engine.fingerprint(request.data)
-        self._charge_fingerprint(self.engine.latency_ns, self.engine.energy_nj)
-        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.engine.latency_ns
-        t += self.engine.latency_ns
+        self._charge_fingerprint(self.engine.energy_nj)
+        timeline.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                        self.engine.latency_ns)
 
-        lookup = self.store.lookup(fingerprint, t)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - t)
-        t = lookup.completion_ns
+        lookup = self.store.lookup(fingerprint, timeline.now)
+        timeline.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                            lookup.completion_ns)
 
         if lookup.found:
             assert lookup.frame is not None
-            stored, t_read = self._read_and_decrypt(lookup.frame, t)
-            t_read += self._charge_compare()
-            stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
-            t = t_read
+            stored = self._read_and_decrypt(lookup.frame, timeline)
+            timeline.serial(WritePathStage.READ_FOR_COMPARISON,
+                            self._charge_compare())
             if stored == request.data:
                 # T1: correctly predicted duplicate.
                 self.predictor.update(request.line_index, True)
-                completion = self._commit_duplicate(request.line_index,
-                                                    lookup.frame, t, stages)
-                self._record_write(stages)
-                return WriteResult(
-                    completion_ns=completion,
-                    latency_ns=completion - request.issue_time_ns,
-                    deduplicated=True, wrote_line=False, stages=stages)
+                self._commit_duplicate(request.line_index, lookup.frame,
+                                       timeline)
+                return self._finalize_write(request, timeline,
+                                            deduplicated=True,
+                                            wrote_line=False)
             # CRC collision: same fingerprint, different bytes -> unique.
             self.counters.incr("crc_collisions")
 
         # F2 (or collision): everything so far was wasted; fall back to the
         # fully serial unique path.
         self.predictor.update(request.line_index, False)
-        _frame, completion = self._commit_unique(
-            request.line_index, fingerprint, request.data, t, stages)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self._commit_unique(request.line_index, fingerprint, request.data,
+                            timeline)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
     def _write_predicted_unique(self, request: MemoryRequest,
-                                stages: Dict[WritePathStage, float]
-                                ) -> WriteResult:
+                                timeline: StageTimeline) -> WriteResult:
         """Parallel pipeline: CRC overlaps encryption; lookup gates commit."""
         assert request.data is not None
-        t0 = request.issue_time_ns
 
-        # CRC and encryption start together.  Only the portion of the CRC
-        # that outlasts the encryption is exposed.  The speculative
-        # encryption's energy is spent regardless of the outcome.
+        # CRC and encryption start together as concurrent branches.  Only
+        # the portion of the fingerprint leg that outlasts the encryption
+        # is exposed.  The speculative encryption's energy is spent
+        # regardless of the outcome.
         fingerprint = self.engine.fingerprint(request.data)
-        self._charge_fingerprint(0.0, self.engine.energy_nj)
+        self._charge_fingerprint(self.engine.energy_nj)
         self.crypto_energy.charge(EnergyCategory.ENCRYPTION,
                                   self.crypto.encrypt_energy_nj)
-        crc_done = t0 + self.engine.latency_ns
-        encrypt_done = t0 + self.crypto.encrypt_latency_ns
-        exposed_crc = max(0.0, crc_done - encrypt_done)
-        if exposed_crc:
-            stages[WritePathStage.FINGERPRINT_COMPUTE] = exposed_crc
+        enc_leg = timeline.overlap_with(WritePathStage.ENCRYPTION,
+                                        self.crypto.encrypt_latency_ns)
+        fp_leg = timeline.branch()
+        fp_leg.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                      self.engine.latency_ns)
 
         # The lookup needs the fingerprint, so it starts when the CRC ends.
-        lookup = self.store.lookup(fingerprint, crc_done)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - crc_done)
+        lookup = self.store.lookup(fingerprint, fp_leg.now)
+        fp_leg.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                          lookup.completion_ns)
 
         if lookup.found:
             assert lookup.frame is not None
-            t = lookup.completion_ns
-            stored, t_read = self._read_and_decrypt(lookup.frame, t)
-            t_read += self._charge_compare()
-            stages[WritePathStage.READ_FOR_COMPARISON] = t_read - t
+            stored = self._read_and_decrypt(lookup.frame, fp_leg)
+            fp_leg.serial(WritePathStage.READ_FOR_COMPARISON,
+                          self._charge_compare())
             if stored == request.data:
                 # F4: the line was a duplicate after all.  The speculative
-                # encryption is wasted energy (already charged); commit the
-                # dedup.
+                # encryption is wasted work: its branch is never joined, so
+                # its time never reaches the critical path (the energy was
+                # already charged).  Commit the dedup.
                 self.counters.incr("wasted_encryptions")
                 self.predictor.update(request.line_index, True)
-                completion = self._commit_duplicate(
-                    request.line_index, lookup.frame, t_read, stages)
-                self._record_write(stages)
-                return WriteResult(
-                    completion_ns=completion,
-                    latency_ns=completion - request.issue_time_ns,
-                    deduplicated=True, wrote_line=False, stages=stages)
+                timeline.join(fp_leg)
+                self._commit_duplicate(request.line_index, lookup.frame,
+                                       timeline)
+                return self._finalize_write(request, timeline,
+                                            deduplicated=True,
+                                            wrote_line=False)
             self.counters.incr("crc_collisions")
-            t_commit = max(t_read, encrypt_done)
-        else:
-            # T3: confirmed unique; the write can commit once both the
-            # encryption and the confirming lookup are done.  Only the
-            # encryption tail that outlasts the lookup is exposed latency.
-            t_commit = max(lookup.completion_ns, encrypt_done)
-            exposed_encrypt = max(0.0, encrypt_done - lookup.completion_ns)
-            if exposed_encrypt:
-                stages[WritePathStage.ENCRYPTION] = exposed_encrypt
 
+        # T3 (or collision): confirmed unique; the write can commit once
+        # both the encryption and the confirming fingerprint leg are done.
+        # Joining the encryption first means the fingerprint leg is charged
+        # only for the tail that outlasts it — the CRC hides entirely when
+        # encryption is longer.
+        timeline.join(enc_leg)
+        timeline.join(fp_leg)
         self.predictor.update(request.line_index, False)
-        _frame, completion = self._commit_unique(
-            request.line_index, fingerprint, request.data, t_commit, stages,
-            pre_encrypted_completion=t_commit)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self._commit_unique(request.line_index, fingerprint, request.data,
+                            timeline, pre_encrypted=True)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
+        timeline = self._timeline(request)
         if self.predictor.predict(request.line_index):
-            return self._write_predicted_duplicate(request, stages)
-        return self._write_predicted_unique(request, stages)
+            return self._write_predicted_duplicate(request, timeline)
+        return self._write_predicted_unique(request, timeline)
 
     def metadata_footprint(self):
         """DeWrite packs all per-line metadata into (16 bytes + 3 bits).

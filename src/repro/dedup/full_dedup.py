@@ -11,9 +11,10 @@ schemes only implement their distinctive write pipelines.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..common.config import SystemConfig
+from ..common.timeline import StageTimeline
 from ..common.types import CACHE_LINE_SIZE, MemoryRequest, WritePathStage
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from .base import DedupScheme, MetadataFootprint, ReadResult
@@ -64,8 +65,7 @@ class FullDedupScheme(DedupScheme):
                 self.store.remove(fingerprint)
 
     def _commit_duplicate(self, logical_line: int, frame: int,
-                          at_time_ns: float,
-                          stages: Dict[WritePathStage, float]) -> float:
+                          timeline: StageTimeline) -> None:
         """Remap the logical line onto an existing frame (dedup hit).
 
         The new reference is acquired *before* the old mapping is released:
@@ -76,50 +76,44 @@ class FullDedupScheme(DedupScheme):
         self.counters.incr("dedup_hits")
         self.refcounts.acquire(frame)
         self._release_previous(logical_line)
-        t = self.mapping.update(logical_line, frame, at_time_ns)
-        stages[WritePathStage.METADATA] = stages.get(
-            WritePathStage.METADATA, 0.0) + (t - at_time_ns)
-        return t
+        t = self.mapping.update(logical_line, frame, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t)
 
     def _commit_unique(self, logical_line: int, fingerprint: int,
-                       plaintext: bytes, at_time_ns: float,
-                       stages: Dict[WritePathStage, float],
-                       *, pre_encrypted_completion: Optional[float] = None,
-                       ) -> Tuple[int, float]:
+                       plaintext: bytes, timeline: StageTimeline,
+                       *, pre_encrypted: bool = False) -> int:
         """Write a unique line: allocate, encrypt+write, index, remap.
 
         Args:
-            pre_encrypted_completion: when the caller already overlapped the
-                encryption+write (DeWrite's parallel path), the completion
-                time of that work; otherwise the encryption and write are
-                performed serially here.
+            pre_encrypted: when the caller already declared the encryption
+                on the timeline (DeWrite/PDE overlap it with fingerprinting),
+                only the PCM write is issued here; otherwise encryption and
+                write are declared serially.
 
         Returns:
-            (frame, completion_time).
+            The allocated frame.
         """
         self._release_previous(logical_line)
         frame = self.allocator.allocate()
-        if pre_encrypted_completion is None:
-            t = self._encrypt_and_write(frame, plaintext, at_time_ns, stages)
+        if not pre_encrypted:
+            self._encrypt_and_write(frame, plaintext, timeline)
         else:
             # Caller accounted encryption; issue the PCM write now.
             enc = self.crypto.encrypt(plaintext, frame)
             self._integrity_update(frame)
             result = self.controller.write(frame, enc.ciphertext,
-                                           pre_encrypted_completion)
-            stages[WritePathStage.WRITE_UNIQUE] = stages.get(
-                WritePathStage.WRITE_UNIQUE, 0.0) + result.latency_ns
-            t = result.completion_ns
+                                           timeline.now)
+            timeline.advance_to(WritePathStage.WRITE_UNIQUE,
+                                result.completion_ns)
         self.refcounts.acquire(frame)
         self._frame_fingerprint[frame] = fingerprint
         # Index insertion's NVMM write proceeds off the critical path (it
         # occupies a bank and consumes energy, but the write's completion
         # does not wait for it).
-        self.store.insert(fingerprint, frame, t)
-        t2 = self.mapping.update(logical_line, frame, t)
-        stages[WritePathStage.METADATA] = stages.get(
-            WritePathStage.METADATA, 0.0) + (t2 - t)
-        return frame, t2
+        self.store.insert(fingerprint, frame, timeline.now)
+        t2 = self.mapping.update(logical_line, frame, timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t2)
+        return frame
 
     # ------------------------------------------------------------------
     # Shared read path
@@ -127,14 +121,18 @@ class FullDedupScheme(DedupScheme):
 
     def handle_read(self, request: MemoryRequest) -> ReadResult:
         self.counters.incr("reads")
+        timeline = self._timeline(request)
         frame, t, _hit = self.mapping.lookup(request.line_index,
-                                             request.issue_time_ns)
+                                             timeline.now)
+        timeline.advance_to(WritePathStage.METADATA, t)
         if frame is None:
-            return ReadResult(data=bytes(CACHE_LINE_SIZE), completion_ns=t,
-                              latency_ns=t - request.issue_time_ns)
-        plaintext, completion = self._read_and_decrypt(frame, t)
-        return ReadResult(data=plaintext, completion_ns=completion,
-                          latency_ns=completion - request.issue_time_ns)
+            return self._finalize_read(request, timeline,
+                                       bytes(CACHE_LINE_SIZE))
+        plaintext = self._read_and_decrypt(
+            frame, timeline,
+            read_stage=WritePathStage.READ_FILL,
+            decrypt_stage=WritePathStage.DECRYPTION)
+        return self._finalize_read(request, timeline, plaintext)
 
     # ------------------------------------------------------------------
     # Reporting

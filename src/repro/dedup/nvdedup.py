@@ -30,14 +30,15 @@ from ..common.config import SystemConfig
 from ..common.types import MemoryRequest, WritePathStage
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..crypto.fingerprints import CRC32Engine, MD5Engine
+from ..registry import register_scheme
 from .base import WriteResult
 from .full_dedup import FullDedupScheme
 
 
+@register_scheme("NV-Dedup")
 class NVDedupScheme(FullDedupScheme):
     """Simplified NV-Dedup: CRC weak filter + MD5 strong confirmation."""
 
-    name = "NV-Dedup"
     #: Weak-index entry: 4 B CRC + 5 B frame + 1 B refcount.
     fingerprint_entry_size = 10
     #: Strong fingerprints stored per frame: 16 B MD5.
@@ -61,72 +62,59 @@ class NVDedupScheme(FullDedupScheme):
     def handle_write(self, request: MemoryRequest) -> WriteResult:
         assert request.data is not None
         self.counters.incr("writes")
-        stages: Dict[WritePathStage, float] = {}
-        t = request.issue_time_ns
+        timeline = self._timeline(request)
 
         # 1. Weak fingerprint on every line (cheap).
         weak = self.weak_engine.fingerprint(request.data)
-        self._charge_fingerprint(self.weak_engine.latency_ns,
-                                 self.weak_engine.energy_nj)
-        stages[WritePathStage.FINGERPRINT_COMPUTE] = self.weak_engine.latency_ns
-        t += self.weak_engine.latency_ns
+        self._charge_fingerprint(self.weak_engine.energy_nj)
+        timeline.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                        self.weak_engine.latency_ns)
 
         # 2. Weak-index lookup.
-        lookup = self.store.lookup(weak, t)
-        stages[WritePathStage.FINGERPRINT_NVMM_LOOKUP] = (
-            lookup.completion_ns - t)
-        t = lookup.completion_ns
+        lookup = self.store.lookup(weak, timeline.now)
+        timeline.advance_to(WritePathStage.FINGERPRINT_NVMM_LOOKUP,
+                            lookup.completion_ns)
 
         if lookup.found:
             # 3. Weak hit: pay the strong hash, serial.
             assert lookup.frame is not None
             strong = self.strong_engine.fingerprint(request.data)
-            self._charge_fingerprint(self.strong_engine.latency_ns,
-                                     self.strong_engine.energy_nj)
-            stages[WritePathStage.FINGERPRINT_COMPUTE] += \
-                self.strong_engine.latency_ns
-            t += self.strong_engine.latency_ns
+            self._charge_fingerprint(self.strong_engine.energy_nj)
+            timeline.serial(WritePathStage.FINGERPRINT_COMPUTE,
+                            self.strong_engine.latency_ns)
             self.counters.incr("strong_hashes")
 
             if self._strong.get(lookup.frame) == strong:
-                completion = self._commit_duplicate(
-                    request.line_index, lookup.frame, t, stages)
-                self._record_write(stages)
-                return WriteResult(
-                    completion_ns=completion,
-                    latency_ns=completion - request.issue_time_ns,
-                    deduplicated=True, wrote_line=False, stages=stages)
+                self._commit_duplicate(request.line_index, lookup.frame,
+                                       timeline)
+                return self._finalize_write(request, timeline,
+                                            deduplicated=True,
+                                            wrote_line=False)
             # Weak collision (same CRC, different content): unique, but the
             # weak slot is occupied -> write without indexing.
             self.counters.incr("weak_collisions")
             self._release_previous(request.line_index)
             frame = self.allocator.allocate()
-            completion = self._encrypt_and_write(frame, request.data, t,
-                                                 stages)
+            self._encrypt_and_write(frame, request.data, timeline)
             self.refcounts.acquire(frame)
             self._strong[frame] = strong
-            t2 = self.mapping.update(request.line_index, frame, completion)
-            stages[WritePathStage.METADATA] = t2 - completion
-            self._record_write(stages)
-            return WriteResult(completion_ns=t2,
-                               latency_ns=t2 - request.issue_time_ns,
-                               deduplicated=False, wrote_line=True,
-                               stages=stages)
+            t2 = self.mapping.update(request.line_index, frame, timeline.now)
+            timeline.advance_to(WritePathStage.METADATA, t2)
+            return self._finalize_write(request, timeline,
+                                        deduplicated=False, wrote_line=True)
 
         # 3b. Weak miss: definitively unique without any strong hash — the
         # scheme's selling point.
-        frame, completion = self._commit_unique(
-            request.line_index, weak, request.data, t, stages)
+        frame = self._commit_unique(request.line_index, weak, request.data,
+                                    timeline)
         self._strong[frame] = self.strong_engine.fingerprint(request.data)
         # The strong fingerprint of a unique line is computed lazily /
         # off the critical path in NV-Dedup (it is only needed when a
         # later weak hit compares against this frame): charge its energy,
         # hide its latency.
-        self._charge_fingerprint(0.0, self.strong_engine.energy_nj)
-        self._record_write(stages)
-        return WriteResult(completion_ns=completion,
-                           latency_ns=completion - request.issue_time_ns,
-                           deduplicated=False, wrote_line=True, stages=stages)
+        self._charge_fingerprint(self.strong_engine.energy_nj)
+        return self._finalize_write(request, timeline,
+                                    deduplicated=False, wrote_line=True)
 
     def metadata_footprint(self):
         from .base import MetadataFootprint

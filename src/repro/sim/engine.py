@@ -164,6 +164,7 @@ class SimulationEngine:
             pcm_metadata_reads=controller.metadata_reads,
             energy_nj=scheme.total_energy().breakdown(),
             breakdown=scheme.breakdown,
+            read_breakdown=scheme.read_breakdown,
             ipc=core.ipc,
             metadata=scheme.metadata_footprint(),
             extras=collect_extras(scheme),

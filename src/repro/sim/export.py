@@ -61,6 +61,10 @@ def result_to_dict(result: SimulationResult) -> Dict:
         out["write_path_profile"] = {
             str(stage): share
             for stage, share in result.breakdown.as_fractions().items()}
+    if result.read_breakdown is not None:
+        out["read_path_profile"] = {
+            str(stage): share
+            for stage, share in result.read_breakdown.as_fractions().items()}
     return out
 
 
@@ -143,7 +147,8 @@ def read_json(path: Union[str, Path]) -> Dict:
 
 #: Version tag of the full-state layout; bump on incompatible changes so
 #: stale store entries read as cache misses instead of garbage.
-STATE_VERSION = 1
+#: v2: added the read-path breakdown.
+STATE_VERSION = 2
 
 
 def result_to_state(result: SimulationResult) -> Dict:
@@ -165,6 +170,10 @@ def result_to_state(result: SimulationResult) -> Dict:
         "breakdown": (None if result.breakdown is None else
                       {str(stage): ns
                        for stage, ns in result.breakdown.by_stage.items()}),
+        "read_breakdown": (None if result.read_breakdown is None else
+                           {str(stage): ns
+                            for stage, ns
+                            in result.read_breakdown.by_stage.items()}),
         "ipc": result.ipc,
         "metadata": (None if result.metadata is None else
                      {"onchip_bytes": result.metadata.onchip_bytes,
@@ -188,6 +197,11 @@ def result_from_state(state: Dict) -> SimulationResult:
         breakdown = LatencyBreakdown(by_stage={
             WritePathStage(name): ns
             for name, ns in state["breakdown"].items()})
+    read_breakdown = None
+    if state.get("read_breakdown") is not None:
+        read_breakdown = LatencyBreakdown(by_stage={
+            WritePathStage(name): ns
+            for name, ns in state["read_breakdown"].items()})
     metadata = None
     if state["metadata"] is not None:
         metadata = MetadataFootprint(
@@ -207,6 +221,7 @@ def result_from_state(state: Dict) -> SimulationResult:
         pcm_metadata_reads=state["pcm_metadata_reads"],
         energy_nj=dict(state["energy_nj"]),
         breakdown=breakdown,
+        read_breakdown=read_breakdown,
         ipc=state["ipc"],
         metadata=metadata,
         extras=dict(state["extras"]),

@@ -55,6 +55,8 @@ class SimulationResult:
     energy_nj: Dict[str, float] = field(default_factory=dict)
     #: Write-path latency profile (stage -> accumulated ns).
     breakdown: Optional[LatencyBreakdown] = None
+    #: Read-path latency profile (stage -> accumulated ns).
+    read_breakdown: Optional[LatencyBreakdown] = None
     #: IPC from the core timing model.
     ipc: float = 0.0
     metadata: Optional[MetadataFootprint] = None

@@ -13,7 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..common.config import SystemConfig, default_config
 from ..common.types import MemoryRequest
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
-from ..dedup import SCHEME_NAMES, make_scheme
+from ..dedup import make_scheme
+from ..registry import registered_scheme_names, scheme_names
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import app_names, get_profile
 from .engine import EngineConfig, SimulationEngine
@@ -41,7 +42,7 @@ class ExperimentConfig:
     """One experiment grid: which apps, schemes, and how much traffic."""
 
     apps: Sequence[str] = field(default_factory=app_names)
-    schemes: Sequence[str] = field(default_factory=lambda: list(SCHEME_NAMES))
+    schemes: Sequence[str] = field(default_factory=lambda: list(scheme_names()))
     requests_per_app: int = 40_000
     system: SystemConfig = field(default_factory=scaled_system_config)
     engine: EngineConfig = field(default_factory=EngineConfig)
@@ -51,9 +52,12 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.requests_per_app <= 0:
             raise ValueError("requests_per_app must be positive")
-        unknown = [s for s in self.schemes if s not in SCHEME_NAMES]
+        registered = registered_scheme_names()
+        unknown = [s for s in self.schemes if s not in registered]
         if unknown:
-            raise ValueError(f"unknown schemes {unknown}; known {SCHEME_NAMES}")
+            raise ValueError(
+                f"unknown schemes {unknown}; registered schemes: "
+                f"{', '.join(registered)}")
 
 
 #: Result grid keyed by (application, scheme).

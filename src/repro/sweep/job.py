@@ -15,7 +15,7 @@ from typing import List, Tuple
 
 from ..common.config import SystemConfig, config_digest
 from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
-from ..dedup import EXTENDED_SCHEME_NAMES
+from ..registry import registered_scheme_names
 from ..sim.engine import EngineConfig
 from ..workloads.profiles import app_names
 from ..workloads.trace import VERSION as TRACE_VERSION
@@ -23,7 +23,8 @@ from ..workloads.trace import VERSION as TRACE_VERSION
 #: Version of the sweep job/result layout.  Bumping it invalidates every
 #: previously stored result (their hashes change), which is the safe
 #: default whenever simulation semantics move.
-SWEEP_SCHEMA_VERSION = 1
+#: v2: results carry a read-path breakdown (timeline refactor).
+SWEEP_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -46,9 +47,10 @@ class JobSpec:
     def __post_init__(self) -> None:
         if self.app not in app_names():
             raise ValueError(f"unknown application {self.app!r}")
-        if self.scheme not in EXTENDED_SCHEME_NAMES:
-            raise ValueError(f"unknown scheme {self.scheme!r}; "
-                             f"known {EXTENDED_SCHEME_NAMES}")
+        registered = registered_scheme_names()
+        if self.scheme not in registered:
+            raise ValueError(f"unknown scheme {self.scheme!r}; registered "
+                             f"schemes: {', '.join(registered)}")
         if self.requests <= 0:
             raise ValueError("requests must be positive")
 

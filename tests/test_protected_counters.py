@@ -6,6 +6,7 @@ import pytest
 
 from repro.common import small_test_config
 from repro.common.errors import IntegrityError
+from repro.common.timeline import StageTimeline
 from repro.dedup import EXTENDED_SCHEME_NAMES, make_scheme
 from repro.sim import SimulationEngine
 from repro.workloads import TraceGenerator
@@ -46,7 +47,7 @@ class TestProtectedPipeline:
         tampered_frame = victim
         # Reading any line on the tampered leaf's path must fail.
         with pytest.raises(IntegrityError):
-            scheme._read_and_decrypt(tampered_frame, 10_000.0)
+            scheme._read_and_decrypt(tampered_frame, StageTimeline(10_000.0))
 
     def test_protection_adds_latency(self):
         base_cfg = small_test_config()

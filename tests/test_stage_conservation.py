@@ -1,0 +1,84 @@
+"""Stage conservation across every registered scheme.
+
+The StageTimeline invariant — exposed per-stage latencies sum to the
+request's critical path — is what makes the Figure 17 latency profile
+trustworthy.  These tests drive each registered scheme's write and read
+handlers directly and check the invariant on every request, plus the
+aggregate consistency between the per-request timelines and the scheme's
+running breakdowns.
+"""
+
+import pytest
+
+from repro.registry import make_scheme, registered_scheme_names
+from repro.workloads.generator import TraceGenerator
+
+
+def _drive(scheme, trace):
+    """Replay a trace through the scheme; returns (write, read) results."""
+    writes, reads = [], []
+    for request in trace:
+        if request.is_write:
+            writes.append((request, scheme.handle_write(request)))
+        else:
+            reads.append((request, scheme.handle_read(request)))
+    return writes, reads
+
+
+@pytest.fixture(params=registered_scheme_names())
+def driven_scheme(request, config):
+    scheme = make_scheme(request.param, config)
+    # gcc mixes duplicate-rich and unique lines plus reads, exercising the
+    # dup/unique/collision branches of every scheme.
+    trace = TraceGenerator("gcc", seed=11).generate_list(1_200)
+    writes, reads = _drive(scheme, trace)
+    assert writes and reads, "trace must exercise both handlers"
+    return scheme, writes, reads
+
+
+class TestPerRequestConservation:
+    def test_write_timelines_sealed_and_conserved(self, driven_scheme):
+        _, writes, _ = driven_scheme
+        for request, result in writes:
+            assert result.timeline is not None
+            assert result.timeline.sealed
+            assert result.timeline.start_ns == request.issue_time_ns
+            assert result.latency_ns == pytest.approx(
+                result.timeline.critical_path_ns)
+            assert sum(result.stages.values()) == pytest.approx(
+                result.latency_ns)
+
+    def test_read_timelines_sealed_and_conserved(self, driven_scheme):
+        _, _, reads = driven_scheme
+        for request, result in reads:
+            assert result.timeline is not None
+            assert result.timeline.sealed
+            assert result.timeline.start_ns == request.issue_time_ns
+            assert sum(result.timeline.exposures.values()) == pytest.approx(
+                result.latency_ns)
+
+    def test_completion_matches_issue_plus_latency(self, driven_scheme):
+        _, writes, reads = driven_scheme
+        for request, result in writes + reads:
+            assert result.completion_ns == pytest.approx(
+                request.issue_time_ns + result.latency_ns)
+
+
+class TestAggregateConservation:
+    def test_write_breakdown_totals_write_latency(self, driven_scheme):
+        scheme, writes, _ = driven_scheme
+        total_latency = sum(result.latency_ns for _, result in writes)
+        assert scheme.breakdown.total() == pytest.approx(total_latency)
+
+    def test_read_breakdown_totals_read_latency(self, driven_scheme):
+        scheme, _, reads = driven_scheme
+        total_latency = sum(result.latency_ns for _, result in reads)
+        assert scheme.read_breakdown.total() == pytest.approx(total_latency)
+
+    def test_breakdowns_do_not_mix_paths(self, driven_scheme):
+        # Reads must never inflate the write-path profile Figure 17 plots.
+        from repro.common.types import WritePathStage
+
+        scheme, _, _ = driven_scheme
+        assert WritePathStage.READ_FILL not in scheme.breakdown.by_stage
+        assert WritePathStage.DECRYPTION not in scheme.breakdown.by_stage
