@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Performance smoke benchmark for the kernel fast path (``repro.perf``).
+
+Produces the committed ``BENCH_perf_smoke.json`` artifact with two sections:
+
+* **grid** — end-to-end timing of the 3-app x 4-scheme evaluation grid,
+  run back-to-back with the fast path off (``seed_*`` fields: the
+  reference kernels) and on (``opt_*`` fields).  Rounds are interleaved
+  off/on so machine noise hits both sides equally; speedups are medians
+  over the per-round ratios.  The section also carries the correctness
+  gate: ``grids_identical`` is true iff every summary row (latencies,
+  p99, write reduction, energy, IPC, PCM writes) is bit-identical
+  between the two modes.
+* **kernels** — per-kernel memo on/off micro-benchmarks over a
+  content-local working set (a small set of distinct lines cycled many
+  times, the locality regime the memo caches are designed for).
+
+CPU seconds (``time.process_time``) are the primary metric; wall-clock is
+reported alongside but is noisy on shared machines, so CI gates only on
+``grids_identical`` — timings are report-only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --quick
+    PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_perf_smoke.json
+
+Exit status: 0 on success, 2 when the fast-path grid diverges from the
+reference grid (a correctness regression, never acceptable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import platform
+import random
+import statistics
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.types import CACHE_LINE_SIZE
+from repro.crypto.counter_mode import _derive_pad
+from repro.crypto.fingerprints import make_engine
+from repro.ecc.codec import decode_line, line_ecc, line_ecc_uncached
+from repro.perf import fastpath, reset_caches
+from repro.sim.runner import ExperimentConfig, run_grid, scaled_system_config
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import read_trace_list, write_trace
+
+# The reference grid: the paper's three most content-diverse SPEC apps
+# against all four evaluated schemes, on a fixed seed so the trace --- and
+# therefore every summary metric --- is deterministic.
+GRID_APPS = ("gcc", "deepsjeng", "lbm")
+GRID_SCHEMES = ("Baseline", "Dedup_SHA1", "DeWrite", "ESD")
+GRID_SEED = 7
+
+#: Distinct line contents in the kernel working set.  Small relative to the
+#: cycle count, mirroring the content locality of real write streams.
+KERNEL_DISTINCT_LINES = 64
+
+
+# ----------------------------------------------------------------------
+# Grid benchmark
+# ----------------------------------------------------------------------
+
+def _grid_config(requests: int, fast: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        apps=list(GRID_APPS),
+        schemes=list(GRID_SCHEMES),
+        requests_per_app=requests,
+        system=replace(scaled_system_config(), use_fastpath=fast),
+        seed=GRID_SEED,
+    )
+
+
+def _run_rows(requests: int, fast: bool) -> Dict[str, Dict[str, float]]:
+    """Run the grid in one mode; returns ``{"app/scheme": summary_row}``."""
+    grid = run_grid(_grid_config(requests, fast))
+    return {f"{app}/{scheme}": result.summary_row()
+            for (app, scheme), result in grid.items()}
+
+
+def bench_grid(requests: int, rounds: int) -> Dict:
+    """Interleaved off/on grid timing plus the summary-row parity check."""
+    round_records: List[Dict[str, float]] = []
+    rows_off: Dict = {}
+    rows_on: Dict = {}
+    identical = True
+    for _ in range(rounds):
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        rows_off = _run_rows(requests, fast=False)
+        wall1 = time.perf_counter()
+        cpu1 = time.process_time()
+        rows_on = _run_rows(requests, fast=True)
+        wall2 = time.perf_counter()
+        cpu2 = time.process_time()
+        seed_cpu = cpu1 - cpu0
+        opt_cpu = cpu2 - cpu1
+        seed_wall = wall1 - wall0
+        opt_wall = wall2 - wall1
+        round_records.append({
+            "seed_cpu_s": seed_cpu,
+            "opt_cpu_s": opt_cpu,
+            "cpu_speedup": seed_cpu / opt_cpu if opt_cpu > 0 else 0.0,
+            "seed_wall_s": seed_wall,
+            "opt_wall_s": opt_wall,
+            "wall_speedup": seed_wall / opt_wall if opt_wall > 0 else 0.0,
+        })
+        # Summary rows are deterministic per mode, so any round's pair is
+        # representative; check every round anyway (it is free).
+        identical = identical and rows_off == rows_on
+    return {
+        "apps": list(GRID_APPS),
+        "schemes": list(GRID_SCHEMES),
+        "seed": GRID_SEED,
+        "requests_per_app": requests,
+        "jobs": 1,  # timed serially; parallel timing would measure the pool
+        "rounds": round_records,
+        "median_cpu_speedup": statistics.median(
+            r["cpu_speedup"] for r in round_records),
+        "median_wall_speedup": statistics.median(
+            r["wall_speedup"] for r in round_records),
+        "grids_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernel micro-benchmarks
+# ----------------------------------------------------------------------
+
+def _working_set(count: int = KERNEL_DISTINCT_LINES,
+                 seed: int = 0xE5D) -> List[bytes]:
+    rng = random.Random(seed)
+    return [rng.randbytes(CACHE_LINE_SIZE) for _ in range(count)]
+
+
+def _kernel_stream(ops: int) -> List[bytes]:
+    lines = _working_set()
+    return [lines[i % len(lines)] for i in range(ops)]
+
+
+def _bench_line_ecc(ops: int) -> Callable[[], None]:
+    stream = _kernel_stream(ops)
+
+    def run() -> None:
+        for data in stream:
+            line_ecc(data)
+    return run
+
+
+def _bench_decode_line_clean(ops: int) -> Callable[[], None]:
+    stream = _kernel_stream(ops)
+    # Pair every line with its correct ECC (the clean, no-fault decode that
+    # dominates simulation reads); computed uncached so setup cost never
+    # warms the caches under test.
+    pairs = [(data, line_ecc_uncached(data)) for data in _working_set()]
+    stream_pairs = [pairs[i % len(pairs)] for i in range(ops)]
+    del stream
+
+    def run() -> None:
+        for data, ecc in stream_pairs:
+            decode_line(data, ecc)
+    return run
+
+
+def _bench_counter_pad(ops: int) -> Callable[[], None]:
+    key = b"\x13" * 32
+    coords = [(line, 1) for line in range(KERNEL_DISTINCT_LINES)]
+    stream = [coords[i % len(coords)] for i in range(ops)]
+
+    def run() -> None:
+        for line, counter in stream:
+            _derive_pad(key, line, counter)
+    return run
+
+
+def _bench_fingerprint(name: str, ops: int) -> Callable[[], None]:
+    engine = make_engine(name)
+    stream = _kernel_stream(ops)
+
+    def run() -> None:
+        fingerprint = engine.fingerprint
+        for data in stream:
+            fingerprint(data)
+    return run
+
+
+def _bench_trace_roundtrip(ops: int) -> Callable[[], None]:
+    profile = get_profile(GRID_APPS[0])
+    requests = TraceGenerator(profile, seed=GRID_SEED).generate_list(ops)
+
+    def run() -> None:
+        buffer = io.BytesIO()
+        write_trace(requests, buffer)
+        buffer.seek(0)
+        read_trace_list(buffer)
+    return run
+
+
+def _time_kernel(factory: Callable[[int], Callable[[], None]],
+                 ops: int, repeats: int, enabled: bool) -> float:
+    """Median ns/op over ``repeats`` runs in one fast-path mode."""
+    run = factory(ops)
+    samples = []
+    with fastpath(enabled):
+        for _ in range(repeats):
+            reset_caches()
+            start = time.process_time()
+            run()
+            samples.append((time.process_time() - start) / ops * 1e9)
+    return statistics.median(samples)
+
+
+def bench_kernels(ops: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    factories: Dict[str, Callable[[int], Callable[[], None]]] = {
+        "line_ecc": _bench_line_ecc,
+        "decode_line_clean": _bench_decode_line_clean,
+        "counter_pad": _bench_counter_pad,
+        "fingerprint_sha1": lambda n: _bench_fingerprint("sha1", n),
+        "fingerprint_crc": lambda n: _bench_fingerprint("crc32", n),
+        "trace_roundtrip": _bench_trace_roundtrip,
+    }
+    report: Dict[str, Dict[str, float]] = {}
+    for name, factory in factories.items():
+        off = _time_kernel(factory, ops, repeats, enabled=False)
+        on = _time_kernel(factory, ops, repeats, enabled=True)
+        report[name] = {
+            "memo_off_ns_per_op": off,
+            "memo_on_ns_per_op": on,
+            "memo_speedup": off / on if on > 0 else 0.0,
+        }
+    return report
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fast-path perf smoke: grid timing, kernel micro-"
+                    "benchmarks, and the off/on summary-row parity gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: 2000 requests/app, 1 grid round")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here (default: stdout)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override requests per app")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override interleaved grid timing rounds")
+    args = parser.parse_args(argv)
+
+    requests = args.requests or (2000 if args.quick else 8000)
+    rounds = args.rounds or (1 if args.quick else 5)
+    kernel_ops = 2000 if args.quick else 20000
+    kernel_repeats = 3 if args.quick else 5
+
+    grid = bench_grid(requests, rounds)
+    kernels = bench_kernels(kernel_ops, kernel_repeats)
+
+    report = {
+        "benchmark": "simulator-performance",
+        "grid": grid,
+        "kernels": kernels,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "quick": bool(args.quick),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    print(f"grid: median cpu speedup {grid['median_cpu_speedup']:.2f}x, "
+          f"median wall speedup {grid['median_wall_speedup']:.2f}x, "
+          f"identical={grid['grids_identical']}", file=sys.stderr)
+    if not grid["grids_identical"]:
+        print("FAIL: fast-path grid diverges from the reference grid",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

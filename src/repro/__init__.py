@@ -15,6 +15,9 @@ Mao, and Wang.  The package contains:
 * :mod:`repro.sim` — the trace-driven engine and experiment runner.
 * :mod:`repro.sweep` — parallel sweep orchestration: process-pool
   scheduler, content-addressed result store, resumable checkpoints.
+* :mod:`repro.perf` — content-addressed kernel fast path: bounded LRU
+  memoization of the pure ECC/crypto kernels (``REPRO_FASTPATH`` /
+  ``SystemConfig.use_fastpath``), bit-identical to the slow path.
 * :mod:`repro.analysis` — one reproduction function per paper figure.
 
 Quickstart::
@@ -46,6 +49,13 @@ from .dedup import (
     make_scheme,
 )
 from .ecc import decode_line, encode_word, line_ecc
+from .perf import (
+    cache_stats,
+    fastpath,
+    fastpath_enabled,
+    reset_caches,
+    set_fastpath,
+)
 from .sim import (
     EngineConfig,
     ExperimentConfig,
@@ -83,12 +93,17 @@ __all__ = [
     "TraceGenerator",
     "__version__",
     "app_names",
+    "cache_stats",
     "decode_line",
     "default_config",
     "encode_word",
+    "fastpath",
+    "fastpath_enabled",
     "get_profile",
     "line_ecc",
     "make_scheme",
+    "reset_caches",
+    "set_fastpath",
     "run_app",
     "run_grid",
     "run_sweep",

@@ -214,6 +214,13 @@ class SystemConfig:
     #: Per-level hash latency of the integrity tree walk (on-chip SHA
     #: engine), charged when ``protect_counters`` is enabled.
     integrity_hash_latency_ns: float = 5.0
+    #: Content-addressed kernel fast path (:mod:`repro.perf`): memoize the
+    #: pure ECC/crypto/fingerprint kernels in bounded LRU caches.  ``None``
+    #: defers to the ``REPRO_FASTPATH`` environment variable (default on);
+    #: ``True``/``False`` force the fast path on/off for runs using this
+    #: config.  Purely a host-CPU optimisation — simulated results are
+    #: bit-identical either way (gated by ``benchmarks/perf_smoke.py``).
+    use_fastpath: Optional[bool] = None
     #: RNG seed threaded through every stochastic component.
     seed: int = 2023
 

@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..perf import memo as _memo
+
 
 @dataclass
 class Counter:
@@ -25,6 +27,12 @@ class Counter:
     def incr(self, name: str, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only increase")
+        if _memo.ENABLED:
+            # Fast path: schemes call incr() several times per request, so
+            # the double ``self.values`` attribute lookup is worth a local.
+            values = self.values
+            values[name] = values.get(name, 0) + amount
+            return
         self.values[name] = self.values.get(name, 0) + amount
 
     def get(self, name: str) -> int:
@@ -94,18 +102,89 @@ class LatencyRecorder:
     def add(self, latency_ns: float) -> None:
         if latency_ns < 0:
             raise ValueError("latency must be non-negative")
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            self._seen += 1
+            self._running.add(latency_ns)
+            self._total += latency_ns
+            self._min = min(self._min, latency_ns)
+            self._max = max(self._max, latency_ns)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(latency_ns)
+            else:
+                # Reservoir sampling keeps a uniform subsample.
+                j = int(self._rng.integers(0, self._seen))
+                if j < self._max_samples:
+                    self._samples[j] = latency_ns
+            return
         self._seen += 1
-        self._running.add(latency_ns)
+        # Welford update inlined (identical arithmetic to RunningMean.add);
+        # this is the per-request recording path.
+        running = self._running
+        running.count += 1
+        delta = latency_ns - running._mean
+        running._mean += delta / running.count
+        running._m2 += delta * (latency_ns - running._mean)
         self._total += latency_ns
-        self._min = min(self._min, latency_ns)
-        self._max = max(self._max, latency_ns)
-        if len(self._samples) < self._max_samples:
-            self._samples.append(latency_ns)
+        if latency_ns < self._min:
+            self._min = latency_ns
+        if latency_ns > self._max:
+            self._max = latency_ns
+        samples = self._samples
+        if len(samples) < self._max_samples:
+            samples.append(latency_ns)
         else:
             # Reservoir sampling keeps a uniform subsample of the stream.
             j = int(self._rng.integers(0, self._seen))
             if j < self._max_samples:
-                self._samples[j] = latency_ns
+                samples[j] = latency_ns
+
+    def add_many(self, latencies: Iterable[float]) -> None:
+        """Record a batch of samples in order.
+
+        Performs exactly the same per-sample arithmetic as repeated
+        :meth:`add` calls (so the resulting statistics are bit-identical),
+        but with the recorder state held in locals across the batch — the
+        engine's fast-path loop collects each run's latencies in a plain
+        list and flushes them here once.
+        """
+        running = self._running
+        count = running.count
+        mean = running._mean
+        m2 = running._m2
+        total = self._total
+        low = self._min
+        high = self._max
+        samples = self._samples
+        max_samples = self._max_samples
+        seen = self._seen
+        rng = self._rng
+        for latency_ns in latencies:
+            if latency_ns < 0:
+                raise ValueError("latency must be non-negative")
+            seen += 1
+            count += 1
+            delta = latency_ns - mean
+            mean += delta / count
+            m2 += delta * (latency_ns - mean)
+            total += latency_ns
+            if latency_ns < low:
+                low = latency_ns
+            if latency_ns > high:
+                high = latency_ns
+            if len(samples) < max_samples:
+                samples.append(latency_ns)
+            else:
+                j = int(rng.integers(0, seen))
+                if j < max_samples:
+                    samples[j] = latency_ns
+        running.count = count
+        running._mean = mean
+        running._m2 = m2
+        self._total = total
+        self._min = low
+        self._max = high
+        self._seen = seen
 
     def extend(self, latencies: Iterable[float]) -> None:
         for x in latencies:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Tuple
 
+from ..perf import memo as _memo
 from .errors import ReproError
 from .types import LatencyBreakdown, WritePathStage
 
@@ -84,13 +85,31 @@ class StageTimeline:
 
     def serial(self, stage: WritePathStage, duration_ns: float) -> None:
         """A fixed-duration step fully exposed on this timeline."""
-        self._check_open()
+        if not _memo.ENABLED:
+            # Reference form (the pre-fast-path implementation, kept
+            # verbatim so the slow path stays the original code).
+            self._check_open()
+            if duration_ns < 0:
+                raise TimelineError(
+                    f"stage {stage} declared with negative duration "
+                    f"{duration_ns!r}")
+            self._charge(stage, duration_ns)
+            self.now = self.now + duration_ns
+            return
+        if self._sealed:
+            self._check_open()
         if duration_ns < 0:
             raise TimelineError(
                 f"stage {stage} declared with negative duration "
                 f"{duration_ns!r}")
-        self._charge(stage, duration_ns)
-        self.now = self.now + duration_ns
+        # Inlined _charge: serial/advance_to carry most of the declaration
+        # traffic (hundreds of thousands of calls per run), so the hot path
+        # avoids a second method call.
+        now = self.now
+        exposure = self._exposure
+        exposure[stage] = exposure.get(stage, 0.0) + duration_ns
+        self._segments.append((stage, now, now + duration_ns))
+        self.now = now + duration_ns
 
     def advance_to(self, stage: WritePathStage, completion_ns: float) -> None:
         """A step that finishes at an externally computed absolute time.
@@ -100,13 +119,31 @@ class StageTimeline:
         latency is ``completion_ns - now``, i.e. all wall clock between
         the step's start and its completion.
         """
-        self._check_open()
-        if completion_ns < self.now - ABS_TOLERANCE_NS:
+        if not _memo.ENABLED:
+            # Reference form (the pre-fast-path implementation).
+            self._check_open()
+            if completion_ns < self.now - ABS_TOLERANCE_NS:
+                raise TimelineError(
+                    f"stage {stage} completes at {completion_ns!r}, before "
+                    f"the timeline clock {self.now!r}")
+            self._charge(stage, max(0.0, completion_ns - self.now))
+            if completion_ns > self.now:
+                self.now = completion_ns
+            return
+        if self._sealed:
+            self._check_open()
+        now = self.now
+        if completion_ns < now - ABS_TOLERANCE_NS:
             raise TimelineError(
                 f"stage {stage} completes at {completion_ns!r}, before the "
                 f"timeline clock {self.now!r}")
-        self._charge(stage, max(0.0, completion_ns - self.now))
-        if completion_ns > self.now:
+        duration = completion_ns - now
+        if duration < 0.0:
+            duration = 0.0
+        exposure = self._exposure
+        exposure[stage] = exposure.get(stage, 0.0) + duration
+        self._segments.append((stage, now, now + duration))
+        if completion_ns > now:
             self.now = completion_ns
 
     def branch(self) -> "StageTimeline":
@@ -164,17 +201,28 @@ class StageTimeline:
     # Sealing and reporting
     # ------------------------------------------------------------------
 
-    def seal(self) -> "StageTimeline":
-        """Freeze the timeline after checking stage conservation."""
+    def seal(self, validate: bool = True) -> "StageTimeline":
+        """Freeze the timeline after checking stage conservation.
+
+        Args:
+            validate: run the conservation check.  Callers always validate
+                today; the knob exists for paths that have already proven
+                conservation elsewhere.  (The kernel fast path does not call
+                ``seal`` at all — the scheme finalize helpers inline the
+                sealing flag and fold, and their correctness is covered by
+                the off/on parity gate, which still validates on every
+                reference run.)
+        """
         if self._sealed:
             return self
-        total = math.fsum(self._exposure.values())
-        span = self.now - self.start_ns
-        if not math.isclose(total, span, rel_tol=REL_TOLERANCE,
-                            abs_tol=ABS_TOLERANCE_NS):
-            raise TimelineError(
-                f"stage conservation violated: exposures sum to {total!r} ns "
-                f"but the critical path is {span!r} ns")
+        if validate:
+            total = math.fsum(self._exposure.values())
+            span = self.now - self.start_ns
+            if not math.isclose(total, span, rel_tol=REL_TOLERANCE,
+                                abs_tol=ABS_TOLERANCE_NS):
+                raise TimelineError(
+                    f"stage conservation violated: exposures sum to "
+                    f"{total!r} ns but the critical path is {span!r} ns")
         self._sealed = True
         return self
 
@@ -196,9 +244,19 @@ class StageTimeline:
 
     def fold_into(self, breakdown: LatencyBreakdown) -> None:
         """Accumulate this request's exposures into a running breakdown."""
+        if not _memo.ENABLED:
+            # Reference form: route through the validating accessor.
+            for stage, ns in self._exposure.items():
+                if ns > 0.0:
+                    breakdown.add(stage, ns)
+            return
+        # Direct dict update: exposures are non-negative by construction,
+        # so ``LatencyBreakdown.add``'s validation is redundant here and
+        # this is a per-request path.
+        by_stage = breakdown.by_stage
         for stage, ns in self._exposure.items():
             if ns > 0.0:
-                breakdown.add(stage, ns)
+                by_stage[stage] = by_stage.get(stage, 0.0) + ns
 
     def segments(self) -> Iterator[Tuple[WritePathStage, float, float]]:
         """The declared (stage, begin, end) spans, in declaration order."""

@@ -208,6 +208,12 @@ class WritePathStage(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Stage members key the per-request exposure dicts touched hundreds of
+    # thousands of times per run; ``Enum.__hash__`` is a Python-level call
+    # (hash of the member name), while identity hash is C-level and equally
+    # stable — members are process singletons (pickle resolves by name).
+    __hash__ = object.__hash__
+
 
 @dataclass
 class LatencyBreakdown:

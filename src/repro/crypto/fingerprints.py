@@ -22,7 +22,11 @@ import zlib
 from typing import Protocol, runtime_checkable
 
 from ..common.types import validate_line
+from ..perf import memo as _memo
 from .costs import DEFAULT_COSTS, CryptoCosts, OperationCostModel
+
+#: Capacity of each per-engine fingerprint memo cache.
+_FP_CACHE_CAPACITY = 1 << 16
 
 
 @runtime_checkable
@@ -48,7 +52,14 @@ class FingerprintEngine(Protocol):
 
 
 class _HashEngineBase:
-    """Shared plumbing for digest-backed engines."""
+    """Shared plumbing for digest-backed engines.
+
+    ``fingerprint`` is memoized on line content (:mod:`repro.perf`): engines
+    of the same ``name`` share one process-global content-addressed cache
+    (sound — the digest is a pure function of the data), so a simulation
+    that fingerprints the same hot line thousands of times hashes it once.
+    Subclasses implement :meth:`_digest` with the actual computation.
+    """
 
     name = "abstract"
     bits = 0
@@ -56,9 +67,23 @@ class _HashEngineBase:
     def __init__(self, cost: OperationCostModel) -> None:
         self.latency_ns = cost.latency_ns
         self.energy_nj = cost.energy_nj
+        self._cache = None
 
-    def fingerprint(self, data: bytes) -> int:  # pragma: no cover - abstract
+    def _digest(self, data: bytes) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def fingerprint(self, data: bytes) -> int:
+        if not _memo.ENABLED:
+            return self._digest(data)
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = _memo.get_cache(f"fp_{self.name}",
+                                                  _FP_CACHE_CAPACITY)
+        value = cache.get(data)
+        if value is None:
+            value = self._digest(data)
+            cache.put(data, value)
+        return value
 
     def fingerprint_size_bytes(self) -> int:
         return (self.bits + 7) // 8
@@ -77,7 +102,7 @@ class SHA1Engine(_HashEngineBase):
     def __init__(self, costs: CryptoCosts = DEFAULT_COSTS) -> None:
         super().__init__(costs.sha1)
 
-    def fingerprint(self, data: bytes) -> int:
+    def _digest(self, data: bytes) -> int:
         validate_line(data)
         return int.from_bytes(hashlib.sha1(data).digest(), "big")
 
@@ -91,7 +116,7 @@ class MD5Engine(_HashEngineBase):
     def __init__(self, costs: CryptoCosts = DEFAULT_COSTS) -> None:
         super().__init__(costs.md5)
 
-    def fingerprint(self, data: bytes) -> int:
+    def _digest(self, data: bytes) -> int:
         validate_line(data)
         return int.from_bytes(hashlib.md5(data).digest(), "big")
 
@@ -110,13 +135,18 @@ class CRC32Engine(_HashEngineBase):
     def __init__(self, costs: CryptoCosts = DEFAULT_COSTS) -> None:
         super().__init__(costs.crc32)
 
-    def fingerprint(self, data: bytes) -> int:
+    def _digest(self, data: bytes) -> int:
         validate_line(data)
         return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class TruncatedEngine(_HashEngineBase):
-    """A width-truncated view of another engine (for collision studies)."""
+    """A width-truncated view of another engine (for collision studies).
+
+    Delegates to the inner engine's (memoized) ``fingerprint``; the mask is
+    too cheap to be worth a second cache, so this override replaces the
+    base-class memo entirely.
+    """
 
     def __init__(self, inner: FingerprintEngine, bits: int) -> None:
         if not 1 <= bits <= inner.bits:

@@ -4,8 +4,10 @@ from .codec import (
     ECCFingerprintEngine,
     LineDecodeResult,
     decode_line,
+    decode_line_uncached,
     line_ecc,
     line_ecc_bytes,
+    line_ecc_uncached,
     verify_distinct,
     word_eccs,
 )
@@ -25,6 +27,7 @@ __all__ = [
     "LineDecodeResult",
     "RandomFaultInjector",
     "decode_line",
+    "decode_line_uncached",
     "decode_word",
     "encode_word",
     "flip_bit",
@@ -32,6 +35,7 @@ __all__ = [
     "inject_and_decode",
     "line_ecc",
     "line_ecc_bytes",
+    "line_ecc_uncached",
     "syndrome",
     "verify_distinct",
     "word_eccs",

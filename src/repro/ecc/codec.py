@@ -21,13 +21,23 @@ from typing import List, Tuple
 
 from ..common.errors import UncorrectableError
 from ..common.types import CACHE_LINE_SIZE, WORDS_PER_LINE, validate_line
+from ..perf import memo as _memo
 from . import hamming
 
 _WORD_STRUCT = struct.Struct("<8Q")
 
+# Content-addressed memo caches (:mod:`repro.perf.memo`).  All three codec
+# kernels are pure; ``decode_line`` is keyed on ``(data, ecc)`` so a
+# fault-injected line (corrupted data against a clean ECC, or vice versa)
+# can never hit a stale clean-decode result — equal keys imply equal
+# decode outcomes by purity.
+_LINE_ECC_CACHE = _memo.get_cache("line_ecc", 1 << 16)
+_WORD_ECCS_CACHE = _memo.get_cache("word_eccs", 1 << 14)
+_DECODE_CACHE = _memo.get_cache("decode_line", 1 << 16)
 
-def line_ecc(data: bytes) -> int:
-    """Compute the 64-bit ECC fingerprint of a 64-byte cache line.
+
+def line_ecc_uncached(data: bytes) -> int:
+    """The :func:`line_ecc` computation with memoization bypassed.
 
     Word *i*'s 8-bit ECC occupies bits ``8*i .. 8*i+7`` of the result.
     Implementation note: words are little-endian, so byte *j* of word *i* is
@@ -51,15 +61,39 @@ def line_ecc(data: bytes) -> int:
     return ecc
 
 
+def line_ecc(data: bytes) -> int:
+    """Compute the 64-bit ECC fingerprint of a 64-byte cache line.
+
+    Memoized on the line content when the :mod:`repro.perf` fast path is
+    enabled (cache hits skip re-validation: every cached key is a
+    previously validated 64-byte line, and any invalid input misses).
+    """
+    if _memo.ENABLED:
+        cached = _LINE_ECC_CACHE.get(data)
+        if cached is not None:
+            return cached
+        ecc = line_ecc_uncached(data)
+        _LINE_ECC_CACHE.put(data, ecc)
+        return ecc
+    return line_ecc_uncached(data)
+
+
 def line_ecc_bytes(data: bytes) -> bytes:
     """The line ECC as 8 little-endian bytes (one per protected word)."""
     return line_ecc(data).to_bytes(WORDS_PER_LINE, "little")
 
 
 def word_eccs(data: bytes) -> Tuple[int, ...]:
-    """Per-word 8-bit ECC values of a cache line."""
+    """Per-word 8-bit ECC values of a cache line (memoized on content)."""
+    if _memo.ENABLED:
+        cached = _WORD_ECCS_CACHE.get(data)
+        if cached is not None:
+            return cached
     validate_line(data)
-    return tuple(hamming.encode_word(w) for w in _WORD_STRUCT.unpack(data))
+    eccs = tuple(hamming.encode_word(w) for w in _WORD_STRUCT.unpack(data))
+    if _memo.ENABLED:
+        _WORD_ECCS_CACHE.put(data, eccs)
+    return eccs
 
 
 @dataclass(frozen=True)
@@ -79,10 +113,28 @@ def decode_line(data: bytes, ecc: int) -> LineDecodeResult:
 
     Corrects up to one flipped bit per 8-byte word.
 
+    Memoized on ``(data, ecc)`` — both arguments, so corrupted inputs from
+    :mod:`repro.ecc.faults` key differently from clean ones and always
+    re-decode.  Uncorrectable (raising) decodes are never cached.  The
+    returned :class:`LineDecodeResult` is frozen, so one instance is safely
+    shared between hits.
+
     Raises:
         UncorrectableError: when any word exhibits a double-bit error; the
             exception's ``word_index`` names the failing word.
     """
+    if _memo.ENABLED:
+        cached = _DECODE_CACHE.get((data, ecc))
+        if cached is not None:
+            return cached
+        result = decode_line_uncached(data, ecc)
+        _DECODE_CACHE.put((data, ecc), result)
+        return result
+    return decode_line_uncached(data, ecc)
+
+
+def decode_line_uncached(data: bytes, ecc: int) -> LineDecodeResult:
+    """The :func:`decode_line` computation with memoization bypassed."""
     validate_line(data)
     if not 0 <= ecc < (1 << 64):
         raise ValueError("line ECC must be a 64-bit value")
@@ -120,6 +172,7 @@ class ECCFingerprintEngine:
     energy_nj = 0.0
 
     def fingerprint(self, data: bytes) -> int:
+        # Memoized via line_ecc's content-addressed cache (repro.perf).
         return line_ecc(data)
 
     def fingerprint_size_bytes(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..common.errors import UncorrectableError
+from ..perf import memo as _memo
 
 #: Number of check bits of the inner Hamming(71,64) code.
 NUM_CHECK_BITS = 7
@@ -102,6 +103,13 @@ def _build_encode_tables() -> Tuple[Tuple[int, ...], ...]:
 
 _ENCODE_TABLES = _build_encode_tables()
 
+#: Parity (popcount mod 2) of every byte value; with the ECC byte in hand,
+#: a syndrome needs only byte-sized parities, so one 256-entry table
+#: replaces the seven mask-AND-popcount passes of the reference decoder.
+_BYTE_PARITY = bytes(_parity(value) for value in range(256))
+
+_CHECK_BITS_MASK = (1 << NUM_CHECK_BITS) - 1
+
 
 def encode_word(word: int) -> int:
     """Compute the 8-bit SEC-DED ECC of a 64-bit word.
@@ -118,6 +126,10 @@ def encode_word(word: int) -> int:
     """
     if not 0 <= word < (1 << 64):
         raise ValueError("word must be a 64-bit unsigned integer")
+    if not _memo.ENABLED:
+        # Reference path: compute the checks directly from the coverage
+        # masks (the obviously-correct form the tables are derived from).
+        return _encode_word_masks(word)
     t = _ENCODE_TABLES
     return (t[0][word & 0xFF]
             ^ t[1][(word >> 8) & 0xFF]
@@ -141,12 +153,53 @@ def syndrome(word: int, ecc: int) -> Tuple[int, int]:
         for an intact codeword, flips to 1 under any single-bit error, and
         returns to 0 under a double-bit error — which is exactly how SEC-DED
         distinguishes the two cases.
+
+    With the :mod:`repro.perf` fast path enabled this runs table-driven
+    (byte-indexed encode + parity lookups); disabled, it falls back to the
+    mask-and-popcount :func:`syndrome_reference`.  Both are bit-identical.
+    """
+    if not _memo.ENABLED:
+        return syndrome_reference(word, ecc)
+    if not 0 <= ecc < (1 << ECC_BITS):
+        raise ValueError("ecc must be an 8-bit value")
+    if not 0 <= word < (1 << 64):
+        raise ValueError("word must be a 64-bit unsigned integer")
+    # Table-driven: re-encoding the word yields the recomputed check bits
+    # (bits 0..6) and, in bit 7, parity(word) XOR parity(check bits) — so
+    # parity(word) folds out of the encode byte with one byte-parity lookup
+    # instead of a 64-bit popcount.
+    t = _ENCODE_TABLES
+    encoded = (t[0][word & 0xFF]
+               ^ t[1][(word >> 8) & 0xFF]
+               ^ t[2][(word >> 16) & 0xFF]
+               ^ t[3][(word >> 24) & 0xFF]
+               ^ t[4][(word >> 32) & 0xFF]
+               ^ t[5][(word >> 40) & 0xFF]
+               ^ t[6][(word >> 48) & 0xFF]
+               ^ t[7][(word >> 56) & 0xFF])
+    recomputed_checks = encoded & _CHECK_BITS_MASK
+    stored_checks = ecc & _CHECK_BITS_MASK
+    stored_overall = (ecc >> NUM_CHECK_BITS) & 1
+    position_syndrome = recomputed_checks ^ stored_checks
+    word_parity = ((encoded >> NUM_CHECK_BITS)
+                   ^ _BYTE_PARITY[recomputed_checks]) & 1
+    parity_syndrome = (word_parity ^ _BYTE_PARITY[stored_checks]
+                       ^ stored_overall)
+    return position_syndrome, parity_syndrome
+
+
+def syndrome_reference(word: int, ecc: int) -> Tuple[int, int]:
+    """Mask-and-popcount reference syndrome (kept for parity tests).
+
+    Computes the syndrome directly from the seven coverage masks; the
+    table-driven :func:`syndrome` must agree with it bit-for-bit on every
+    input.
     """
     if not 0 <= ecc < (1 << ECC_BITS):
         raise ValueError("ecc must be an 8-bit value")
     if not 0 <= word < (1 << 64):
         raise ValueError("word must be a 64-bit unsigned integer")
-    stored_checks = ecc & ((1 << NUM_CHECK_BITS) - 1)
+    stored_checks = ecc & _CHECK_BITS_MASK
     stored_overall = (ecc >> NUM_CHECK_BITS) & 1
     recomputed_checks = 0
     for j in range(NUM_CHECK_BITS):

@@ -20,13 +20,17 @@ and would otherwise serialize at full PCM read latency.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from dataclasses import dataclass
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, NamedTuple, Optional, Tuple
+
+from ..perf import memo as _memo
 
 
-@dataclass(frozen=True)
-class BankService:
-    """Record of one scheduled bank access."""
+class BankService(NamedTuple):
+    """Record of one scheduled bank access.
+
+    A ``NamedTuple`` rather than a dataclass: one is built per bank access
+    (tens of thousands per run) and tuple construction is C-level.
+    """
 
     bank: int
     arrival_ns: float
@@ -87,7 +91,38 @@ class Bank:
         """Schedule an access at the earliest idle gap >= its arrival."""
         if arrival_ns < 0 or duration_ns < 0:
             raise ValueError("times must be non-negative")
-        self._latest_arrival = max(self._latest_arrival, arrival_ns)
+        if arrival_ns > self._latest_arrival:
+            self._latest_arrival = arrival_ns
+        intervals = self._intervals
+        if (_memo.ENABLED and duration_ns > 0.0
+                and (not intervals or arrival_ns >= intervals[-1][0])):
+            # (Zero-duration accesses take the general path: a 0-ns access
+            # arriving exactly at a busy interval's start fits *before* it.)
+            # Fast common case: the access lands in or after the *last* busy
+            # interval (program-order traces are mostly monotonic, and a
+            # busy bank queues arrivals behind its tail).  The earliest fit
+            # is then ``max(arrival, last_end)`` and the new interval
+            # appends/merges at the tail — equivalent to the general
+            # ``_find_slot``/``_insert_interval`` path below, which remains
+            # for genuinely out-of-order arrivals.
+            if intervals:
+                last_start, last_end = intervals[-1]
+                start = last_end if arrival_ns < last_end else arrival_ns
+            else:
+                last_end = -1.0
+                start = arrival_ns
+            end = start + duration_ns
+            if end > start:
+                if start == last_end:
+                    intervals[-1] = (last_start, end)
+                else:
+                    intervals.append((start, end))
+            self.busy_time_ns += duration_ns
+            self.services += 1
+            if len(intervals) >= 4096:
+                self._maybe_prune()
+            return BankService(bank=self.index, arrival_ns=arrival_ns,
+                               start_ns=start, completion_ns=end)
         start = self._find_slot(arrival_ns, duration_ns)
         end = start + duration_ns
         self._insert_interval(start, end)

@@ -15,19 +15,28 @@ PCM array.  It combines:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from ..common.config import PCMConfig
 from ..common.stats import Counter
+from ..perf import memo as _memo
+from ..common.errors import InvalidAddressError
 from .bank import Bank, BankService
-from .device import PCMDevice
+from .device import _ZERO, PCMDevice
 from .energy import EnergyAccount, EnergyCategory
 
+# Hoisted enum members for the fast-path branches (module-global loads are
+# cheaper than two-level attribute lookups on a per-access path).
+_PCM_READ = EnergyCategory.PCM_READ
+_PCM_WRITE = EnergyCategory.PCM_WRITE
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Timing outcome of one controller access."""
+
+class AccessResult(NamedTuple):
+    """Timing outcome of one controller access.
+
+    A ``NamedTuple`` for the same reason as :class:`BankService`: built on
+    every access, so construction cost is a per-access tax.
+    """
 
     service: BankService
 
@@ -59,6 +68,25 @@ class MemoryController:
                                   for i in range(self.config.num_banks)]
         self.energy = EnergyAccount()
         self.counters = Counter()
+        # Hot-path scalars hoisted out of the (frozen) config: read() and
+        # write() run once per PCM access, and each dotted config lookup
+        # there is a real per-access cost.  Used by the kernel-fast-path
+        # branches only; reference branches keep the original lookups.
+        self._num_banks = self.config.num_banks
+        self._row_size_lines = self.config.row_size_lines
+        self._read_latency_ns = self.config.read_latency_ns
+        self._read_energy_nj = self.config.read_energy_nj
+        self._row_hit_read_latency_ns = self.config.row_hit_read_latency_ns
+        self._row_hit_read_energy_nj = self.config.row_hit_read_energy_nj
+        self._write_latency_ns = self.config.write_latency_ns
+        self._write_energy_nj = self.config.write_energy_nj
+        self._energy_buckets = self.energy.buckets
+        self._counter_values = self.counters.values
+        self._num_lines = self.config.num_lines
+        # The device's backing store, for the inlined read in read(): the
+        # dict is created once in PCMDevice.__init__ and only ever mutated,
+        # so holding a reference is safe.
+        self._device_store = self.device._store
 
     # ------------------------------------------------------------------
     # Bank plumbing
@@ -82,23 +110,53 @@ class MemoryController:
     def _metadata_row(self, key: int) -> Tuple[str, int]:
         return ("meta", key >> 3)
 
+    # The fast-path branches below identify rows by plain ints instead of
+    # ("data"/"meta", row) tuples — data rows as ``row`` (non-negative),
+    # metadata rows as ``~row`` (negative) — because int construction and
+    # comparison beat tuple construction on a once-per-access path.  Both
+    # encodings are injective over (kind, row), so the row-buffer hit/miss
+    # pattern is identical; the fast-path switch is fixed for the lifetime
+    # of a run, so a bank never sees a mix of the two encodings.
+
     def read(self, line_number: int, at_time_ns: float) -> Tuple[bytes, AccessResult]:
         """Read one line: returns (content, timing).
 
         A read hitting the bank's open row is served from the row buffer at
         :attr:`PCMConfig.row_hit_read_latency_ns`.
         """
-        bank = self.bank_for_line(line_number)
-        if bank.access_row(self._data_row(line_number)):
-            latency = self.config.row_hit_read_latency_ns
-            energy = self.config.row_hit_read_energy_nj
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            bank = self.bank_for_line(line_number)
+            if bank.access_row(self._data_row(line_number)):
+                latency = self.config.row_hit_read_latency_ns
+                energy = self.config.row_hit_read_energy_nj
+            else:
+                latency = self.config.read_latency_ns
+                energy = self.config.read_energy_nj
+            service = bank.service(at_time_ns, latency)
+            data = self.device.read_line(line_number)
+            self.energy.charge(EnergyCategory.PCM_READ, energy)
+            self.counters.incr("data_reads")
+            return data, AccessResult(service=service)
+        bank = self.banks[line_number % self._num_banks]
+        if bank.access_row(line_number // self._row_size_lines):
+            latency = self._row_hit_read_latency_ns
+            energy = self._row_hit_read_energy_nj
         else:
-            latency = self.config.read_latency_ns
-            energy = self.config.read_energy_nj
+            latency = self._read_latency_ns
+            energy = self._read_energy_nj
         service = bank.service(at_time_ns, latency)
-        data = self.device.read_line(line_number)
-        self.energy.charge(EnergyCategory.PCM_READ, energy)
-        self.counters.incr("data_reads")
+        # Device read inlined (bounds check + store lookup + read counter).
+        if not 0 <= line_number < self._num_lines:
+            raise InvalidAddressError(
+                f"line {line_number} outside device of "
+                f"{self._num_lines} lines")
+        self.device.read_ops += 1
+        data = self._device_store.get(line_number, _ZERO)
+        buckets = self._energy_buckets
+        buckets[_PCM_READ] = buckets.get(_PCM_READ, 0.0) + energy
+        values = self._counter_values
+        values["data_reads"] = values.get("data_reads", 0) + 1
         return data, AccessResult(service=service)
 
     def write(self, line_number: int, data: bytes,
@@ -108,12 +166,24 @@ class MemoryController:
         PCM cell writes pay full latency/energy regardless of the row
         buffer, but the write loads its row into the buffer.
         """
-        bank = self.bank_for_line(line_number)
-        bank.access_row(self._data_row(line_number))
-        service = bank.service(at_time_ns, self.config.write_latency_ns)
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            bank = self.bank_for_line(line_number)
+            bank.access_row(self._data_row(line_number))
+            service = bank.service(at_time_ns, self.config.write_latency_ns)
+            self.device.write_line(line_number, data)
+            self.energy.charge(EnergyCategory.PCM_WRITE,
+                               self.config.write_energy_nj)
+            self.counters.incr("data_writes")
+            return AccessResult(service=service)
+        bank = self.banks[line_number % self._num_banks]
+        bank.access_row(line_number // self._row_size_lines)
+        service = bank.service(at_time_ns, self._write_latency_ns)
         self.device.write_line(line_number, data)
-        self.energy.charge(EnergyCategory.PCM_WRITE, self.config.write_energy_nj)
-        self.counters.incr("data_writes")
+        buckets = self._energy_buckets
+        buckets[_PCM_WRITE] = buckets.get(_PCM_WRITE, 0.0) + self._write_energy_nj
+        values = self._counter_values
+        values["data_writes"] = values.get("data_writes", 0) + 1
         return AccessResult(service=service)
 
     def write_partial(self, key: int, fraction: float,
@@ -127,12 +197,23 @@ class MemoryController:
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        bank = self._bank_for_metadata(key)
-        bank.access_row(self._metadata_row(key))
-        service = bank.service(at_time_ns, self.config.write_latency_ns)
-        self.energy.charge(EnergyCategory.PCM_WRITE,
-                           self.config.write_energy_nj * fraction)
-        self.counters.incr("partial_writes")
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            bank = self._bank_for_metadata(key)
+            bank.access_row(self._metadata_row(key))
+            service = bank.service(at_time_ns, self.config.write_latency_ns)
+            self.energy.charge(EnergyCategory.PCM_WRITE,
+                               self.config.write_energy_nj * fraction)
+            self.counters.incr("partial_writes")
+            return AccessResult(service=service)
+        bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
+        bank.access_row(~(key >> 3))
+        service = bank.service(at_time_ns, self._write_latency_ns)
+        buckets = self._energy_buckets
+        buckets[_PCM_WRITE] = (buckets.get(_PCM_WRITE, 0.0)
+                               + self._write_energy_nj * fraction)
+        values = self._counter_values
+        values["partial_writes"] = values.get("partial_writes", 0) + 1
         return AccessResult(service=service)
 
     # ------------------------------------------------------------------
@@ -146,25 +227,51 @@ class MemoryController:
         owners (fingerprint stores, AMT); the controller charges the PCM
         read cost and occupies a bank for the duration.
         """
-        bank = self._bank_for_metadata(key)
-        if bank.access_row(self._metadata_row(key)):
-            latency = self.config.row_hit_read_latency_ns
-            energy = self.config.row_hit_read_energy_nj
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            bank = self._bank_for_metadata(key)
+            if bank.access_row(self._metadata_row(key)):
+                latency = self.config.row_hit_read_latency_ns
+                energy = self.config.row_hit_read_energy_nj
+            else:
+                latency = self.config.read_latency_ns
+                energy = self.config.read_energy_nj
+            service = bank.service(at_time_ns, latency)
+            self.energy.charge(EnergyCategory.PCM_READ, energy)
+            self.counters.incr("metadata_reads")
+            return AccessResult(service=service)
+        bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
+        if bank.access_row(~(key >> 3)):
+            latency = self._row_hit_read_latency_ns
+            energy = self._row_hit_read_energy_nj
         else:
-            latency = self.config.read_latency_ns
-            energy = self.config.read_energy_nj
+            latency = self._read_latency_ns
+            energy = self._read_energy_nj
         service = bank.service(at_time_ns, latency)
-        self.energy.charge(EnergyCategory.PCM_READ, energy)
-        self.counters.incr("metadata_reads")
+        buckets = self._energy_buckets
+        buckets[_PCM_READ] = buckets.get(_PCM_READ, 0.0) + energy
+        values = self._counter_values
+        values["metadata_reads"] = values.get("metadata_reads", 0) + 1
         return AccessResult(service=service)
 
     def metadata_write(self, key: int, at_time_ns: float) -> AccessResult:
         """Timing/energy of writing one metadata line to NVMM."""
-        bank = self._bank_for_metadata(key)
-        bank.access_row(self._metadata_row(key))
-        service = bank.service(at_time_ns, self.config.write_latency_ns)
-        self.energy.charge(EnergyCategory.PCM_WRITE, self.config.write_energy_nj)
-        self.counters.incr("metadata_writes")
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            bank = self._bank_for_metadata(key)
+            bank.access_row(self._metadata_row(key))
+            service = bank.service(at_time_ns, self.config.write_latency_ns)
+            self.energy.charge(EnergyCategory.PCM_WRITE,
+                               self.config.write_energy_nj)
+            self.counters.incr("metadata_writes")
+            return AccessResult(service=service)
+        bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
+        bank.access_row(~(key >> 3))
+        service = bank.service(at_time_ns, self._write_latency_ns)
+        buckets = self._energy_buckets
+        buckets[_PCM_WRITE] = buckets.get(_PCM_WRITE, 0.0) + self._write_energy_nj
+        values = self._counter_values
+        values["metadata_writes"] = values.get("metadata_writes", 0) + 1
         return AccessResult(service=service)
 
     # ------------------------------------------------------------------

@@ -15,6 +15,11 @@ from typing import Dict, Optional
 from ..common.config import PCMConfig
 from ..common.errors import EnduranceExceededError, InvalidAddressError
 from ..common.types import CACHE_LINE_SIZE, validate_line
+from ..perf import memo as _memo
+
+#: Shared zero line returned for never-written frames (bytes are immutable,
+#: so one instance serves every fresh-cell read).
+_ZERO = bytes(CACHE_LINE_SIZE)
 
 
 @dataclass
@@ -61,22 +66,55 @@ class PCMDevice:
 
     def read_line(self, line_number: int) -> bytes:
         """Read the 64-byte content of a physical frame."""
-        self._check_line_number(line_number)
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            self._check_line_number(line_number)
+            self.read_ops += 1
+            return self._store.get(line_number, bytes(CACHE_LINE_SIZE))
+        # Bounds check inlined (hot path: one call per PCM data read).
+        if not 0 <= line_number < self.config.num_lines:
+            raise InvalidAddressError(
+                f"line {line_number} outside device of "
+                f"{self.config.num_lines} lines")
         self.read_ops += 1
-        return self._store.get(line_number, bytes(CACHE_LINE_SIZE))
+        return self._store.get(line_number, _ZERO)
 
     def write_line(self, line_number: int, data: bytes) -> None:
         """Write a 64-byte line into a physical frame, recording wear."""
-        self._check_line_number(line_number)
-        validate_line(data)
-        count = self._write_counts.get(line_number, 0) + 1
-        if (self.config.fail_on_endurance
-                and count > self.config.endurance_writes):
+        if not _memo.ENABLED:
+            # Reference form (pre-fast-path implementation).
+            self._check_line_number(line_number)
+            validate_line(data)
+            count = self._write_counts.get(line_number, 0) + 1
+            if (self.config.fail_on_endurance
+                    and count > self.config.endurance_writes):
+                raise EnduranceExceededError(
+                    f"frame {line_number} exceeded endurance "
+                    f"({self.config.endurance_writes} writes)")
+            self._write_counts[line_number] = count
+            self._store[line_number] = bytes(data)
+            self.write_ops += 1
+            return
+        # Checks inlined; ``bytes`` payloads are stored as-is (immutable, and
+        # ``bytes(data)`` is an identity for them anyway).
+        config = self.config
+        if not 0 <= line_number < config.num_lines:
+            raise InvalidAddressError(
+                f"line {line_number} outside device of "
+                f"{config.num_lines} lines")
+        if data.__class__ is not bytes:
+            data = validate_line(data)
+        elif len(data) != CACHE_LINE_SIZE:
+            raise ValueError(
+                f"cache line must be {CACHE_LINE_SIZE} bytes, got {len(data)}")
+        counts = self._write_counts
+        count = counts.get(line_number, 0) + 1
+        if config.fail_on_endurance and count > config.endurance_writes:
             raise EnduranceExceededError(
                 f"frame {line_number} exceeded endurance "
-                f"({self.config.endurance_writes} writes)")
-        self._write_counts[line_number] = count
-        self._store[line_number] = bytes(data)
+                f"({config.endurance_writes} writes)")
+        counts[line_number] = count
+        self._store[line_number] = data
         self.write_ops += 1
 
     def write_count(self, line_number: int) -> int:

@@ -27,6 +27,10 @@ class EnergyCategory(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Categories key the per-access energy buckets; identity hash is
+    # C-level and equally stable for process-singleton enum members.
+    __hash__ = object.__hash__
+
 
 @dataclass
 class EnergyAccount:

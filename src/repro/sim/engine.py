@@ -23,15 +23,17 @@ the :class:`~repro.cache.cpu.CoreTimingModel` for IPC.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional
 
 from ..cache.cpu import CoreTimingModel
 from ..common.config import SystemConfig
 from ..common.errors import IntegrityError
 from ..common.stats import LatencyRecorder
-from ..common.types import MemoryRequest
+from ..common.types import AccessType, MemoryRequest
 from ..dedup.base import DedupScheme
+from ..perf import begin_run as _fastpath_begin
+from ..perf import end_run as _fastpath_end
 from .metrics import SimulationResult, collect_extras
 
 
@@ -95,59 +97,27 @@ class SimulationEngine:
         if total_hint:
             warmup_after = int(total_hint * ec.warmup_fraction)
 
-        processed = 0
-        writes = reads = 0
-        dedup_baseline_count = scheme.counters.get("dedup_hits")
-        writes_seen_before_warmup = 0
-        dedup_at_warmup = dedup_baseline_count
+        dedup_at_warmup = scheme.counters.get("dedup_hits")
 
-        for request in requests:
-            # Closed-loop throttling: delay the issue until a window slot
-            # frees up.
-            issue = request.issue_time_ns
-            if len(window) >= ec.max_outstanding:
-                oldest = window.popleft()
-                if oldest > issue:
-                    issue = oldest
-            if issue != request.issue_time_ns:
-                request = MemoryRequest(address=request.address,
-                                        access=request.access,
-                                        data=request.data,
-                                        issue_time_ns=issue,
-                                        core=request.core, seq=request.seq)
+        # Kernel fast path (repro.perf): resolve this run's switch from the
+        # config (None defers to REPRO_FASTPATH), then reset the memo caches
+        # so every run starts cold — cache statistics become a deterministic
+        # function of (trace, scheme, config), independent of whether the
+        # cell runs serially or on a sweep worker.
+        fast_prev, fast_on = _fastpath_begin(self.config.use_fastpath)
+        loop = self._loop_fast if fast_on else self._loop_reference
+        try:
+            writes, reads, dedup_at_warmup = loop(
+                requests, scheme, core, window, write_rec, read_rec,
+                verify, warmup_after, instructions_per_access,
+                dedup_at_warmup)
+        finally:
+            memo_stats = _fastpath_end(fast_prev)
 
-            if request.is_write:
-                result = scheme.handle_write(request)
-                latency = result.latency_ns
-                completion = result.completion_ns
-                if verify:
-                    self._shadow[request.address] = request.data
-                if processed >= warmup_after:
-                    write_rec.add(latency)
-                    writes += 1
-                else:
-                    writes_seen_before_warmup += 1
-                core.memory_stall(latency, is_write=True)
-            else:
-                rresult = scheme.handle_read(request)
-                latency = rresult.latency_ns
-                completion = rresult.completion_ns
-                if verify:
-                    expected = self._shadow.get(request.address)
-                    if expected is not None and rresult.data != expected:
-                        raise IntegrityError(
-                            f"read at {request.address:#x} returned stale or "
-                            f"corrupt data under scheme {scheme.name}")
-                if processed >= warmup_after:
-                    read_rec.add(latency)
-                    reads += 1
-                core.memory_stall(latency, is_write=False)
-
-            core.retire_instructions(instructions_per_access)
-            window.append(completion)
-            processed += 1
-            if processed == warmup_after:
-                dedup_at_warmup = scheme.counters.get("dedup_hits")
+        extras = collect_extras(scheme)
+        extras["fastpath_enabled"] = 1.0 if fast_on else 0.0
+        if fast_on:
+            extras.update(memo_stats)
 
         controller = scheme.controller
         return SimulationResult(
@@ -167,5 +137,137 @@ class SimulationEngine:
             read_breakdown=scheme.read_breakdown,
             ipc=core.ipc,
             metadata=scheme.metadata_footprint(),
-            extras=collect_extras(scheme),
+            extras=extras,
         )
+
+    def _loop_fast(self, requests, scheme, core, window, write_rec,
+                   read_rec, verify, warmup_after, instructions_per_access,
+                   dedup_at_warmup):
+        """Optimized request loop (kernel fast path on).
+
+        Identical control flow to :meth:`_loop_reference`; bound methods
+        and constants are hoisted because every attribute lookup in the
+        body is paid once per trace request.
+        """
+        ec = self.engine_config
+        handle_write = scheme.handle_write
+        handle_read = scheme.handle_read
+        # Post-warm-up latencies are batched into plain lists and flushed
+        # through LatencyRecorder.add_many (same arithmetic, one call).
+        write_lats: list = []
+        read_lats: list = []
+        write_lat_append = write_lats.append
+        read_lat_append = read_lats.append
+        window_append = window.append
+        window_popleft = window.popleft
+        shadow = self._shadow
+        max_outstanding = ec.max_outstanding
+        WRITE = AccessType.WRITE
+        # Core timing accumulated locally and flushed once after the loop:
+        # per-request ``memory_stall``/``retire_instructions`` calls are pure
+        # accumulation, and sequential float adds into a local produce the
+        # same value as sequential adds into the (zero-initialised) member.
+        cycle_ns = core.config.cycle_ns
+        write_stall_fraction = core.write_stall_fraction
+        stall_cycles = 0.0
+        instructions = 0
+        processed = 0
+        writes = reads = 0
+        try:
+            for request in requests:
+                # Closed-loop throttling: delay the issue until a window slot
+                # frees up.
+                issue = request.issue_time_ns
+                if len(window) >= max_outstanding:
+                    oldest = window_popleft()
+                    if oldest > issue:
+                        issue = oldest
+                if issue != request.issue_time_ns:
+                    request = replace(request, issue_time_ns=issue)
+
+                if request.access is WRITE:
+                    result = handle_write(request)
+                    latency = result.latency_ns
+                    completion = result.completion_ns
+                    if verify:
+                        shadow[request.address] = request.data
+                    if processed >= warmup_after:
+                        write_lat_append(latency)
+                    stall_cycles += (latency / cycle_ns) * write_stall_fraction
+                else:
+                    rresult = handle_read(request)
+                    latency = rresult.latency_ns
+                    completion = rresult.completion_ns
+                    if verify:
+                        expected = shadow.get(request.address)
+                        if expected is not None and rresult.data != expected:
+                            raise IntegrityError(
+                                f"read at {request.address:#x} returned stale "
+                                f"or corrupt data under scheme {scheme.name}")
+                    if processed >= warmup_after:
+                        read_lat_append(latency)
+                    stall_cycles += latency / cycle_ns
+
+                instructions += instructions_per_access
+                window_append(completion)
+                processed += 1
+                if processed == warmup_after:
+                    dedup_at_warmup = scheme.counters.get("dedup_hits")
+        finally:
+            core.stall_cycles += stall_cycles
+            core.instructions += instructions
+            write_rec.add_many(write_lats)
+            read_rec.add_many(read_lats)
+        writes = len(write_lats)
+        reads = len(read_lats)
+        return writes, reads, dedup_at_warmup
+
+    def _loop_reference(self, requests, scheme, core, window, write_rec,
+                        read_rec, verify, warmup_after,
+                        instructions_per_access, dedup_at_warmup):
+        """Reference request loop (pre-fast-path form, kept verbatim)."""
+        ec = self.engine_config
+        processed = 0
+        writes = reads = 0
+        for request in requests:
+            # Closed-loop throttling: delay the issue until a window slot
+            # frees up.
+            issue = request.issue_time_ns
+            if len(window) >= ec.max_outstanding:
+                oldest = window.popleft()
+                if oldest > issue:
+                    issue = oldest
+            if issue != request.issue_time_ns:
+                request = replace(request, issue_time_ns=issue)
+
+            if request.is_write:
+                result = scheme.handle_write(request)
+                latency = result.latency_ns
+                completion = result.completion_ns
+                if verify:
+                    self._shadow[request.address] = request.data
+                if processed >= warmup_after:
+                    write_rec.add(latency)
+                    writes += 1
+                core.memory_stall(latency, is_write=True)
+            else:
+                rresult = scheme.handle_read(request)
+                latency = rresult.latency_ns
+                completion = rresult.completion_ns
+                if verify:
+                    expected = self._shadow.get(request.address)
+                    if expected is not None and rresult.data != expected:
+                        raise IntegrityError(
+                            f"read at {request.address:#x} returned stale "
+                            f"or corrupt data under scheme {scheme.name}")
+                if processed >= warmup_after:
+                    read_rec.add(latency)
+                    reads += 1
+                core.memory_stall(latency, is_write=False)
+
+            core.retire_instructions(instructions_per_access)
+            window.append(completion)
+            processed += 1
+            if processed == warmup_after:
+                dedup_at_warmup = scheme.counters.get("dedup_hits")
+        return writes, reads, dedup_at_warmup

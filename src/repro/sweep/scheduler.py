@@ -32,6 +32,7 @@ from concurrent.futures import as_completed
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..common.errors import SweepError
+from ..perf import reset_caches as reset_fastpath_caches
 from ..sim.metrics import SimulationResult
 from ..sim.runner import run_app
 from ..workloads.generator import TraceGenerator
@@ -71,7 +72,15 @@ def execute_job(spec: JobSpec, trace_path: str) -> SimulationResult:
 
     Deliberately funnels through :func:`~repro.sim.runner.run_app` so the
     orchestrated path exercises the exact code the serial runner does.
+
+    Kernel-cache lifecycle: ``SimulationEngine.run`` resets the
+    :mod:`repro.perf` memo caches at the start of every run, but a pool
+    worker serves many jobs, so reset here too — worker-side kernel-cache
+    state is then provably independent of job scheduling order, and cached
+    results (including the exported ``memo_*`` statistics) stay
+    byte-identical to a serial run.
     """
+    reset_fastpath_caches()
     trace = _load_trace(trace_path)
     results = run_app(spec.app, [spec.scheme], requests=spec.requests,
                       system=spec.system, engine=spec.engine,

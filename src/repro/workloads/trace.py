@@ -35,23 +35,33 @@ _RECORD_FIXED = struct.Struct("<BBHIQd")
 
 def write_trace(requests: Iterable[MemoryRequest],
                 destination: Union[str, Path, BinaryIO]) -> int:
-    """Serialize a request stream; returns the record count written."""
+    """Serialize a request stream; returns the record count written.
+
+    Batched: records are packed into an in-memory buffer and flushed with
+    two writes (header, then all records), instead of two-plus syscalls per
+    record.  The buffer is the same order of magnitude as the materialized
+    request list, so peak memory is unchanged; as a bonus the header is
+    written once with the final count, so non-seekable destinations work.
+    The byte format is identical to the per-record writer's.
+    """
+    pack_record = _RECORD_FIXED.pack
+    chunks = []
+    count = 0
+    for req in requests:
+        if req.is_write:
+            assert req.data is not None
+            chunks.append(pack_record(1, req.core, 0, req.seq,
+                                      req.address, req.issue_time_ns))
+            chunks.append(req.data)
+        else:
+            chunks.append(pack_record(0, req.core, 0, req.seq,
+                                      req.address, req.issue_time_ns))
+        count += 1
     own = isinstance(destination, (str, Path))
     fh: BinaryIO = open(destination, "wb") if own else destination  # type: ignore[arg-type]
     try:
-        # Leave room for the header; patch the count afterwards.
-        fh.write(_HEADER.pack(MAGIC, VERSION, 0, 0))
-        count = 0
-        for req in requests:
-            kind = 1 if req.is_write else 0
-            fh.write(_RECORD_FIXED.pack(kind, req.core, 0, req.seq,
-                                        req.address, req.issue_time_ns))
-            if req.is_write:
-                assert req.data is not None
-                fh.write(req.data)
-            count += 1
-        fh.seek(0)
         fh.write(_HEADER.pack(MAGIC, VERSION, 0, count))
+        fh.write(b"".join(chunks))
         return count
     finally:
         if own:
@@ -60,6 +70,11 @@ def write_trace(requests: Iterable[MemoryRequest],
 
 def read_trace(source: Union[str, Path, BinaryIO]) -> Iterator[MemoryRequest]:
     """Deserialize a trace, yielding requests in order.
+
+    Batched: the record stream is read into memory with one ``read`` and
+    parsed with ``unpack_from`` offsets, instead of two ``read`` syscalls
+    per record.  Like the per-record reader it replaced, this is a
+    generator — nothing is read until the first request is drawn.
 
     Raises:
         TraceFormatError: on bad magic, version, or truncated records.
@@ -75,26 +90,33 @@ def read_trace(source: Union[str, Path, BinaryIO]) -> Iterator[MemoryRequest]:
             raise TraceFormatError(f"bad magic {magic!r}")
         if version != VERSION:
             raise TraceFormatError(f"unsupported version {version}")
-        for i in range(count):
-            fixed = fh.read(_RECORD_FIXED.size)
-            if len(fixed) != _RECORD_FIXED.size:
-                raise TraceFormatError(f"truncated record {i}")
-            kind, core, _, seq, address, issue = _RECORD_FIXED.unpack(fixed)
-            if kind == 1:
-                payload = fh.read(CACHE_LINE_SIZE)
-                if len(payload) != CACHE_LINE_SIZE:
-                    raise TraceFormatError(f"truncated payload in record {i}")
-                yield MemoryRequest(address=address, access=AccessType.WRITE,
-                                    data=payload, issue_time_ns=issue,
-                                    core=core, seq=seq)
-            elif kind == 0:
-                yield MemoryRequest(address=address, access=AccessType.READ,
-                                    issue_time_ns=issue, core=core, seq=seq)
-            else:
-                raise TraceFormatError(f"unknown record kind {kind}")
+        buf = fh.read()
     finally:
         if own:
             fh.close()
+    unpack_from = _RECORD_FIXED.unpack_from
+    fixed_size = _RECORD_FIXED.size
+    total = len(buf)
+    offset = 0
+    for i in range(count):
+        if offset + fixed_size > total:
+            raise TraceFormatError(f"truncated record {i}")
+        kind, core, _, seq, address, issue = unpack_from(buf, offset)
+        offset += fixed_size
+        if kind == 1:
+            end = offset + CACHE_LINE_SIZE
+            if end > total:
+                raise TraceFormatError(f"truncated payload in record {i}")
+            payload = buf[offset:end]
+            offset = end
+            yield MemoryRequest(address=address, access=AccessType.WRITE,
+                                data=payload, issue_time_ns=issue,
+                                core=core, seq=seq)
+        elif kind == 0:
+            yield MemoryRequest(address=address, access=AccessType.READ,
+                                issue_time_ns=issue, core=core, seq=seq)
+        else:
+            raise TraceFormatError(f"unknown record kind {kind}")
 
 
 def read_trace_list(source: Union[str, Path, BinaryIO]) -> List[MemoryRequest]:

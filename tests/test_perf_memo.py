@@ -1,0 +1,190 @@
+"""Tests for repro.perf: memo cache machinery and the fast-path switch."""
+
+import pytest
+
+from repro import perf
+from repro.ecc import codec
+from repro.perf import memo
+from repro.perf.memo import MemoCache
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath_state():
+    """Every test leaves the global switch and caches as it found them."""
+    previous = memo.ENABLED
+    yield
+    memo.ENABLED = previous
+    memo.reset_all()
+
+
+def _unique_keys(count):
+    return [f"key-{i}".encode() for i in range(count)]
+
+
+class TestMemoCache:
+    def test_hit_miss_counters(self):
+        cache = MemoCache("t", capacity=4)
+        assert cache.get(b"a") is None
+        cache.put(b"a", 1)
+        assert cache.get(b"a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_get_default_on_miss(self):
+        cache = MemoCache("t", capacity=4)
+        assert cache.get(b"a", "fallback") == "fallback"
+
+    def test_lru_bound_under_adversarial_unique_stream(self):
+        # A stream of only-unique keys (zero reuse — the memo's worst case)
+        # must never grow the cache past its cap.
+        cache = MemoCache("t", capacity=8)
+        for key in _unique_keys(100):
+            assert cache.get(key) is None
+            cache.put(key, key)
+            assert len(cache) <= 8
+        assert len(cache) == 8
+        assert cache.evictions == 100 - 8
+        assert cache.misses == 100
+        assert cache.hits == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = MemoCache("t", capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_put_existing_key_refreshes_without_evicting(self):
+        cache = MemoCache("t", capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, not insert
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_reset_clears_entries_and_counters(self):
+        cache = MemoCache("t", capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.reset()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        assert not cache.touched
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoCache("t", capacity=0)
+
+
+class TestKernelCacheBound:
+    def test_line_ecc_cache_bounded_with_shrunk_cap(self):
+        # Shrink the real kernel cache's cap and hammer it with unique
+        # lines: the LRU bound must hold at the actual call site too.
+        cache = codec._LINE_ECC_CACHE
+        original_capacity = cache.capacity
+        memo.ENABLED = True
+        memo.reset_all()
+        try:
+            cache.capacity = 16
+            for i in range(64):
+                codec.line_ecc(i.to_bytes(2, "little") * 32)
+                assert len(cache) <= 16
+            assert cache.evictions == 64 - 16
+            assert cache.misses == 64
+        finally:
+            cache.capacity = original_capacity
+
+    def test_all_registered_caches_are_size_bounded(self):
+        for cache in memo.registered_caches():
+            assert cache.capacity > 0
+            assert len(cache) <= cache.capacity
+
+
+class TestRegistry:
+    def test_get_cache_returns_shared_instance(self):
+        a = memo.get_cache("test_registry_shared", 8)
+        b = memo.get_cache("test_registry_shared", 999)
+        assert a is b
+        assert a.capacity == 8  # first caller fixes the capacity
+
+    def test_reset_all_resets_registered_caches(self):
+        cache = memo.get_cache("test_registry_reset", 8)
+        cache.put("k", 1)
+        cache.get("k")
+        memo.reset_all()
+        assert len(cache) == 0 and not cache.touched
+
+    def test_stats_snapshot_prefix_and_touched_filter(self):
+        memo.reset_all()
+        cache = memo.get_cache("test_registry_stats", 8)
+        assert "memo_test_registry_stats_hits" not in memo.stats_snapshot()
+        cache.get("miss")
+        snap = memo.stats_snapshot()
+        assert snap["memo_test_registry_stats_misses"] == 1.0
+        assert snap["memo_test_registry_stats_hits"] == 0.0
+        assert snap["memo_test_registry_stats_size"] == 0.0
+        custom = memo.stats_snapshot("x_", only_touched=False)
+        assert "x_test_registry_stats_misses" in custom
+
+
+class TestSwitch:
+    @pytest.mark.parametrize("raw,expected", [
+        (None, True), ("", True), ("1", True), ("on", True), ("yes", True),
+        ("0", False), ("false", False), ("FALSE", False), ("Off", False),
+        ("no", False), (" no ", False),
+    ])
+    def test_env_parsing(self, monkeypatch, raw, expected):
+        if raw is None:
+            monkeypatch.delenv(memo.ENV_VAR, raising=False)
+        else:
+            monkeypatch.setenv(memo.ENV_VAR, raw)
+        assert memo.default_enabled() is expected
+
+    def test_set_fastpath_returns_previous(self):
+        perf.set_fastpath(True)
+        assert perf.set_fastpath(False) is True
+        assert perf.fastpath_enabled() is False
+
+    def test_fastpath_scope_restores_on_exit(self):
+        perf.set_fastpath(True)
+        with perf.fastpath(False):
+            assert not perf.fastpath_enabled()
+        assert perf.fastpath_enabled()
+
+    def test_fastpath_scope_restores_on_error(self):
+        perf.set_fastpath(True)
+        with pytest.raises(RuntimeError):
+            with perf.fastpath(False):
+                raise RuntimeError("boom")
+        assert perf.fastpath_enabled()
+
+
+class TestRunLifecycle:
+    def test_begin_run_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(memo.ENV_VAR, "0")
+        previous, active = perf.begin_run(True)
+        assert active is True and perf.fastpath_enabled()
+        perf.end_run(previous)
+
+    def test_begin_run_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv(memo.ENV_VAR, "0")
+        previous, active = perf.begin_run(None)
+        assert active is False
+        perf.end_run(previous)
+
+    def test_begin_run_resets_caches(self):
+        cache = memo.get_cache("test_lifecycle", 8)
+        cache.put("stale", 1)
+        previous, _ = perf.begin_run(True)
+        assert len(cache) == 0
+        perf.end_run(previous)
+
+    def test_end_run_restores_switch_and_snapshots(self):
+        perf.set_fastpath(False)
+        previous, _ = perf.begin_run(True)
+        memo.get_cache("test_lifecycle", 8).get("miss")
+        stats = perf.end_run(previous)
+        assert perf.fastpath_enabled() is False
+        assert stats["memo_test_lifecycle_misses"] == 1.0
