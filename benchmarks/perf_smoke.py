@@ -244,6 +244,32 @@ def bench_kernels(ops: int, repeats: int) -> Dict[str, Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Observability metrics report
+# ----------------------------------------------------------------------
+
+def emit_metrics_report(requests: int, path: Path) -> None:
+    """Run one observed grid cell and write its metrics report.
+
+    The report (``repro.obs`` registry snapshot plus trace-ring stats) is
+    a CI artifact: it documents the migrated ``memo_*`` counters and the
+    request-latency histograms for the benchmark configuration.  It is
+    informational — the only hard gate stays ``grids_identical``.
+    """
+    from repro.sim.runner import run_app
+
+    system = scaled_system_config().with_observability(enabled=True)
+    app, scheme = GRID_APPS[0], GRID_SCHEMES[-1]
+    result = run_app(app, [scheme], requests=requests, system=system,
+                     seed=GRID_SEED)[scheme]
+    assert result.obs is not None
+    report = {"app": app, "scheme": scheme, "requests": requests,
+              "obs_schema_version": result.obs["obs_schema_version"],
+              "metrics": result.obs["metrics"],
+              "trace_stats": result.obs["trace_stats"]}
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -259,6 +285,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="override requests per app")
     parser.add_argument("--rounds", type=int, default=None,
                         help="override interleaved grid timing rounds")
+    parser.add_argument("--metrics-report", type=Path, default=None,
+                        help="also run one observed cell and write its "
+                             "repro.obs metrics report here")
     args = parser.parse_args(argv)
 
     requests = args.requests or (2000 if args.quick else 8000)
@@ -283,6 +312,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    if args.metrics_report is not None:
+        emit_metrics_report(requests, args.metrics_report)
+        print(f"wrote {args.metrics_report}")
     print(f"grid: median cpu speedup {grid['median_cpu_speedup']:.2f}x, "
           f"median wall speedup {grid['median_wall_speedup']:.2f}x, "
           f"identical={grid['grids_identical']}", file=sys.stderr)

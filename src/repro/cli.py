@@ -13,6 +13,8 @@ simulator:
     python -m repro.cli figures --quick
     python -m repro.cli sweep --apps gcc,lbm --schemes ESD,Baseline \
         --jobs 8 --store .sweep_cache
+    python -m repro.cli trace --scheme ESD --app gcc --out gcc.trace.jsonl
+    python -m repro.cli report --scheme ESD --app gcc --format csv
 
 Scheme selection accepts both the paper's numeric codes and names.
 """
@@ -20,6 +22,7 @@ Scheme selection accepts both the paper's numeric codes and names.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -58,6 +61,11 @@ def _load_or_generate(args) -> List:
         args.requests)
 
 
+def _fmt_percentile(value: float) -> str:
+    """Render a percentile; NaN (empty recorder) prints as ``n/a``."""
+    return "n/a" if math.isnan(value) else f"{value:.1f}"
+
+
 def cmd_run(args) -> int:
     """Run one scheme over one trace; print the artifact's statistics."""
     scheme_name = resolve_scheme(args.scheme)
@@ -79,8 +87,8 @@ def cmd_run(args) -> int:
         ["PCM data writes", result.pcm_data_writes],
         ["PCM metadata writes", result.pcm_metadata_writes],
         ["mean write latency (ns)", f"{result.mean_write_latency_ns:.1f}"],
-        ["p99 write latency (ns)",
-         f"{result.write_latency.percentile(99):.1f}"],
+        ["p99 write latency (ns)", _fmt_percentile(
+            result.write_latency.percentile(99))],
         ["mean read latency (ns)", f"{result.mean_read_latency_ns:.1f}"],
         ["total energy (mJ)", f"{result.total_energy_nj / 1e6:.4f}"],
         ["IPC", f"{result.ipc:.3f}"],
@@ -228,6 +236,69 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _run_observed(args) -> "SimulationResult":
+    """Run one scheme x app with the observability layer enabled."""
+    scheme_name = resolve_scheme(args.scheme)
+    trace = _load_or_generate(args)
+    profile = get_profile(args.app) if not args.trace else None
+    config = _system_config(args).with_observability(
+        enabled=True, trace_capacity=args.capacity,
+        sample_every=args.sample_every)
+    scheme = make_scheme(scheme_name, config)
+    engine = SimulationEngine(scheme, EngineConfig())
+    return engine.run(
+        iter(trace), app=args.app, total_hint=len(trace),
+        instructions_per_access=(profile.instructions_per_access
+                                 if profile else 200))
+
+
+def cmd_trace(args) -> int:
+    """Run one scheme with tracing on; export the event ring as JSONL."""
+    from .obs.export import write_trace_jsonl
+    from .obs.tracing import TraceEvent
+
+    result = _run_observed(args)
+    report = result.obs
+    assert report is not None  # observability was enabled above
+    events = [TraceEvent.from_dict(e) for e in report["trace"]]
+    if args.out:
+        count = write_trace_jsonl(events, args.out)
+        stats = report["trace_stats"]
+        print(f"wrote {count} events to {args.out} "
+              f"(recorded {stats['recorded']}, dropped {stats['dropped']}, "
+              f"capacity {stats['capacity']})")
+    else:
+        write_trace_jsonl(events, sys.stdout)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run one scheme with metrics on; export the registry snapshot."""
+    import json as _json
+
+    from .obs.export import metrics_to_csv
+
+    result = _run_observed(args)
+    report = result.obs
+    assert report is not None  # observability was enabled above
+    if args.format == "csv":
+        payload = metrics_to_csv(report["metrics"])
+    else:
+        payload = _json.dumps(
+            {"obs_schema_version": report["obs_schema_version"],
+             "app": result.app, "scheme": result.scheme,
+             "metrics": report["metrics"],
+             "trace_stats": report["trace_stats"]},
+            indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"wrote {len(report['metrics'])} instruments to {args.out}")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
 def cmd_validate(args) -> int:
     """Run the reproduction self-check; exit non-zero on failed claims."""
     from .analysis.validation import render_validation, validate
@@ -308,6 +379,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress live progress lines")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    def add_obs_common(p):
+        add_common(p)
+        p.add_argument("--scheme", default="3",
+                       help="0|1|2|3 or Baseline|Dedup_SHA1|DeWrite|ESD")
+        p.add_argument("--trace", default=None,
+                       help="replay a serialized trace instead of generating")
+        p.add_argument("--capacity", type=int, default=4096,
+                       help="trace ring capacity (default: 4096)")
+        p.add_argument("--sample-every", type=int, default=1,
+                       help="record every Nth request (default: 1)")
+        p.add_argument("--out", default=None,
+                       help="output path (default: stdout)")
+
+    trace_p = sub.add_parser(
+        "trace", help="run with tracing on; export events as JSONL")
+    add_obs_common(trace_p)
+    trace_p.set_defaults(func=cmd_trace)
+
+    report_p = sub.add_parser(
+        "report", help="run with metrics on; export the registry snapshot")
+    add_obs_common(report_p)
+    report_p.add_argument("--format", default="json",
+                          choices=("json", "csv"),
+                          help="report format (default: json)")
+    report_p.set_defaults(func=cmd_report)
 
     val_p = sub.add_parser("validate",
                            help="self-check the paper's headline claims")

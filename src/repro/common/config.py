@@ -161,10 +161,15 @@ class ESDConfig:
     #: Maximum reference count recorded per EFIT entry (1-byte referH).  When
     #: a line's count would exceed this, ESD treats the incoming line as new.
     refer_h_max: int = 255
-    #: LRCU periodic refresh: every ``decay_period`` EFIT insertions, all
+    #: LRCU periodic refresh: every ``decay_period`` epoch events, all
     #: reference counters are decremented by ``decay_amount``.
     decay_period: int = 4096
     decay_amount: int = 1
+    #: What advances the decay epoch: ``"ops"`` (default) counts every
+    #: EFIT lookup/bump/insertion — the paper's *periodic* refresh, which
+    #: keeps decaying through read/touch-heavy phases; ``"insert"`` counts
+    #: insertions only (the pre-fix behaviour, kept for parity runs).
+    decay_on: str = "ops"
     #: Use the LRCU policy; False degrades the EFIT to plain LRU (the
     #: "without LRCU" series of Figure 18).
     use_lrcu: bool = True
@@ -176,6 +181,8 @@ class ESDConfig:
             raise ConfigError("decay_period must be positive")
         if self.decay_amount < 0:
             raise ConfigError("decay_amount must be non-negative")
+        if self.decay_on not in ("ops", "insert"):
+            raise ConfigError("decay_on must be 'ops' or 'insert'")
 
 
 @dataclass(frozen=True)
@@ -192,6 +199,33 @@ class DeWriteConfig:
             raise ConfigError("predictor_entries must be positive")
         if not 1 <= self.predictor_bits <= 8:
             raise ConfigError("predictor_bits must be 1..8")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Run-scoped instrumentation knobs (:mod:`repro.obs`).
+
+    Disabled by default: with ``enabled=False`` no run scope is opened,
+    every hook site reduces to one module-global ``is None`` check, and
+    simulated results are bit-identical to an uninstrumented build (the
+    obs parity property tests gate this).
+    """
+
+    #: Open a run scope (metrics registry + trace ring) around each
+    #: engine run and attach the collected report to the result.
+    enabled: bool = False
+    #: Maximum trace events retained; older events are evicted (the ring
+    #: reports how many were dropped).
+    trace_capacity: int = 4096
+    #: Trace one request in every N (1 = trace every request).  Metrics
+    #: are never sampled — only trace events are.
+    sample_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity <= 0:
+            raise ConfigError("trace_capacity must be positive")
+        if self.sample_every <= 0:
+            raise ConfigError("sample_every must be positive")
 
 
 @dataclass(frozen=True)
@@ -221,6 +255,11 @@ class SystemConfig:
     #: config.  Purely a host-CPU optimisation — simulated results are
     #: bit-identical either way (gated by ``benchmarks/perf_smoke.py``).
     use_fastpath: Optional[bool] = None
+    #: Run-scoped instrumentation (:mod:`repro.obs`): metrics registry,
+    #: per-request trace ring, and exporters.  Off by default; enabling it
+    #: never changes simulated results (gated by the obs parity tests).
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig)
     #: RNG seed threaded through every stochastic component.
     seed: int = 2023
 
@@ -241,6 +280,14 @@ class SystemConfig:
 
     def with_seed(self, seed: int) -> "SystemConfig":
         return replace(self, seed=seed)
+
+    def with_observability(self, **kwargs) -> "SystemConfig":
+        """Return a copy with modified observability options.
+
+        ``cfg.with_observability(enabled=True, sample_every=8)``
+        """
+        return replace(
+            self, observability=replace(self.observability, **kwargs))
 
 
 def _canonical(obj):

@@ -215,15 +215,24 @@ class LatencyRecorder:
         return self._max if self._seen else 0.0
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100) of recorded samples."""
+        """The ``p``-th percentile (0-100) of recorded samples.
+
+        An empty recorder returns ``NaN``, never 0.0: a scheme or phase
+        that saw no traffic must stay distinguishable from one with a
+        genuinely zero-latency tail.  Export boundaries map the NaN to
+        ``None``/empty cells (:mod:`repro.sim.export`).
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be within [0, 100]")
         if not self._samples:
-            return 0.0
+            return math.nan
         return float(np.percentile(np.asarray(self._samples), p))
 
     def tail_summary(self) -> Dict[str, float]:
-        """Common tail percentiles (p50/p90/p99/p999) as a dict."""
+        """Common tail percentiles (p50/p90/p99/p999) as a dict.
+
+        All values are ``NaN`` when the recorder is empty (see
+        :meth:`percentile`)."""
         return {
             "p50": self.percentile(50),
             "p90": self.percentile(90),

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 from ..common.config import ESDConfig, MetadataCacheConfig
 from ..common.types import PhysicalAddress
+from ..obs import runtime as _obs
 
 #: Bytes per EFIT entry: 8 (ECC) + 4 (Addr_base) + 1 (Addr_offsets) + 1 (referH).
 EFIT_ENTRY_SIZE = 14
@@ -64,6 +65,7 @@ class EFIT:
             max_count=esd_config.refer_h_max,
             decay_period=esd_config.decay_period,
             decay_amount=esd_config.decay_amount,
+            decay_on=esd_config.decay_on,
             use_lrcu=esd_config.use_lrcu)
         self.hits = 0
         self.misses = 0
@@ -78,10 +80,16 @@ class EFIT:
         line is treated as non-duplicate immediately, with no NVMM access.
         """
         frame = self._cache.get(ecc)
+        obs = _obs.RUN
         if frame is None:
             self.misses += 1
+            if obs is not None:
+                obs.record(-1.0, "efit", "miss", misses=self.misses)
             return None, self.probe_latency_ns
         self.hits += 1
+        if obs is not None:
+            obs.record(-1.0, "efit", "hit", frame=frame,
+                       refer_h=self._cache.count(ecc))
         entry = EFITEntry(ecc=ecc,
                           physical=PhysicalAddress.from_line_number(frame),
                           refer_h=self._cache.count(ecc))
@@ -117,6 +125,11 @@ class EFIT:
     @property
     def evictions(self) -> int:
         return self._cache.evictions
+
+    @property
+    def decay_passes(self) -> int:
+        """LRCU decay ("regular refresh") passes run so far."""
+        return self._cache.decay_passes
 
     def onchip_bytes(self) -> int:
         """Current on-chip footprint (entries x 14 bytes)."""

@@ -40,6 +40,7 @@ from ..crypto.costs import CryptoCosts, DEFAULT_COSTS
 from ..dedup.base import DedupScheme, MetadataFootprint, ReadResult, WriteResult
 from ..dedup.mapping import FrameRefcounts
 from ..ecc.codec import line_ecc
+from ..obs import runtime as _obs
 from ..registry import register_scheme
 from .amt import AddressMappingTable
 from .efit import EFIT, EFIT_ENTRY_SIZE
@@ -123,6 +124,10 @@ class ESDScheme(DedupScheme):
             # entry keeps its frame; the incoming line is written fresh
             # (and is not indexed — its ECC slot is taken).
             self.counters.incr("ecc_collisions")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.emit(timeline.now, obs.request_id, "esd",
+                         "ecc_collision", {"frame": entry.frame})
             return self._write_unique(request, ecc, timeline,
                                       index_in_efit=False)
 
@@ -131,6 +136,10 @@ class ESDScheme(DedupScheme):
             # line as new and re-points the EFIT entry at the fresh frame
             # (Section III-D).
             self.counters.incr("referh_overflows")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.emit(timeline.now, obs.request_id, "esd",
+                         "referh_overflow", {"frame": entry.frame})
             self._frame_ecc.pop(entry.frame, None)
             result = self._write_unique(request, ecc, timeline,
                                         index_in_efit=False)
@@ -145,6 +154,9 @@ class ESDScheme(DedupScheme):
         # already references, releasing first would free the frame (and its
         # EFIT entry) mid-commit.
         self.counters.incr("dedup_hits")
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(timeline.now, "esd", "dedup_hit", frame=entry.frame)
         self.refcounts.acquire(entry.frame)
         self._release_previous(request.line_index)
         self.efit.record_duplicate(ecc)

@@ -11,6 +11,12 @@ The structure is the classic O(1) LFU design: one recency-ordered bucket
 per reference count plus a running minimum.  A periodic *decay* pass
 subtracts a fixed value from every count so stale former-hot entries drift
 back toward eviction ("ESD performs a regular refresh of all cache items").
+
+The decay epoch is driven by *operations* (lookups, count bumps, and
+insertions) by default — the paper specifies a regular refresh, and a
+read/touch-heavy phase must not pin stale high-count fingerprints forever.
+``decay_on="insert"`` keeps the historical insertion-only trigger for
+parity with earlier results.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from ..obs import runtime as _obs
+
+#: Valid decay-epoch drivers for :class:`LRCUCache`.
+DECAY_MODES = ("ops", "insert")
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -35,33 +46,41 @@ class LRCUCache(Generic[K, V]):
     Args:
         capacity: maximum number of entries.
         max_count: reference counts saturate here (ESD's 1-byte ``referH``).
-        decay_period: one decay pass runs per this many insertions
+        decay_period: one decay pass runs per this many epoch events
             (0 disables decay).
         decay_amount: subtracted from every count during a decay pass
             (counts floor at 1).
+        decay_on: what advances the decay epoch — ``"ops"`` (default)
+            counts every lookup, count bump, and insertion, matching the
+            paper's *periodic* refresh; ``"insert"`` counts insertions
+            only, the historical behaviour kept reachable for parity.
         use_lrcu: when False the cache degrades to plain LRU — the
             "without LRCU" comparison series of the paper's Figure 18(a).
     """
 
     def __init__(self, capacity: int, *, max_count: int = 255,
                  decay_period: int = 4096, decay_amount: int = 1,
-                 use_lrcu: bool = True) -> None:
+                 decay_on: str = "ops", use_lrcu: bool = True) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if max_count < 1:
             raise ValueError("max_count must be at least 1")
         if decay_period < 0 or decay_amount < 0:
             raise ValueError("decay parameters must be non-negative")
+        if decay_on not in DECAY_MODES:
+            raise ValueError(f"decay_on must be one of {DECAY_MODES}, "
+                             f"got {decay_on!r}")
         self.capacity = capacity
         self.max_count = max_count
         self.decay_period = decay_period
         self.decay_amount = decay_amount
+        self.decay_on = decay_on
         self.use_lrcu = use_lrcu
         self._nodes: Dict[K, _Node[V]] = {}
         # count -> recency-ordered keys (first = least recently used).
         self._buckets: Dict[int, "OrderedDict[K, None]"] = {}
         self._min_count = 1
-        self._insertions_since_decay = 0
+        self._ops_since_decay = 0
         self.evictions = 0
         self.decay_passes = 0
         self._touch_counter = 0
@@ -122,14 +141,21 @@ class LRCUCache(Generic[K, V]):
         """Return the value without altering the reference count.
 
         Recency is refreshed (ties inside a count bucket break by LRU).
+        In ``decay_on="ops"`` mode every lookup — hit or miss — advances
+        the decay epoch.
         """
         node = self._nodes.get(key)
         if node is None:
+            if self.decay_on == "ops":
+                self._tick_epoch()
             return None
         bucket = self._buckets[node.count]
         bucket.move_to_end(key)
         self._touch(key)
-        return node.value
+        value = node.value
+        if self.decay_on == "ops":
+            self._tick_epoch()
+        return value
 
     def count(self, key: K) -> int:
         """The entry's current reference count (0 when absent)."""
@@ -151,7 +177,10 @@ class LRCUCache(Generic[K, V]):
         else:
             self._buckets[node.count].move_to_end(key)
         self._touch(key)
-        return node.count
+        count = node.count
+        if self.decay_on == "ops":
+            self._tick_epoch()
+        return count
 
     def put(self, key: K, value: V, *, count: int = 1) -> Optional[Tuple[K, V]]:
         """Insert (or replace) an entry; returns the evicted (key, value).
@@ -169,6 +198,8 @@ class LRCUCache(Generic[K, V]):
             self._bucket(count)[key] = None
             self._min_count = min(self._min_count, count)
             self._touch(key)
+            if self.decay_on == "ops":
+                self._tick_epoch()
             return None
 
         evicted: Optional[Tuple[K, V]] = None
@@ -179,15 +210,18 @@ class LRCUCache(Generic[K, V]):
             self._touch_ordinals.pop(victim, None)
             self.evictions += 1
             evicted = (victim, victim_node.value)
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(-1.0, "lrcu", "evict",
+                           victim_count=victim_node.count,
+                           evictions=self.evictions)
 
         self._nodes[key] = _Node(value=value, count=count)
         self._bucket(count)[key] = None
         self._min_count = min(self._min_count, count)
         self._touch(key)
 
-        self._insertions_since_decay += 1
-        if self.decay_period and self._insertions_since_decay >= self.decay_period:
-            self._decay()
+        self._tick_epoch()
         return evicted
 
     def remove(self, key: K) -> Optional[V]:
@@ -208,8 +242,16 @@ class LRCUCache(Generic[K, V]):
     # Decay ("regular refresh")
     # ------------------------------------------------------------------
 
+    def _tick_epoch(self) -> None:
+        """Advance the decay epoch by one event; run a pass when due."""
+        if not self.decay_period:
+            return
+        self._ops_since_decay += 1
+        if self._ops_since_decay >= self.decay_period:
+            self._decay()
+
     def _decay(self) -> None:
-        self._insertions_since_decay = 0
+        self._ops_since_decay = 0
         if not self.decay_amount:
             return
         self.decay_passes += 1
@@ -222,6 +264,12 @@ class LRCUCache(Generic[K, V]):
                 target[key] = None
         self._buckets = new_buckets
         self._min_count = min(new_buckets) if new_buckets else 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.emit(-1.0, obs.request_id, "lrcu", "decay_pass",
+                     {"pass": self.decay_passes,
+                      "entries": len(self._nodes),
+                      "decay_amount": self.decay_amount})
 
     # ------------------------------------------------------------------
     # Recency bookkeeping (global ordinals, used by the plain-LRU mode)

@@ -40,6 +40,7 @@ from ..crypto.counter_mode import CounterModeEngine
 from ..nvmm.allocator import FrameAllocator
 from ..nvmm.controller import MemoryController
 from ..nvmm.energy import EnergyAccount, EnergyCategory
+from ..obs import runtime as _obs
 from ..perf import memo as _memo
 
 if TYPE_CHECKING:
@@ -188,6 +189,14 @@ class DedupScheme(abc.ABC):
             # check is covered by the slow-path parity gate, and the fold
             # is a plain dict accumulation.
             timeline._sealed = True
+            obs = _obs.RUN
+            if obs is not None:
+                # The fast path never calls seal(); this is its seal
+                # point, so the trace sees the same event either way.
+                obs.record(timeline.now, "timeline", "sealed",
+                           critical_path_ns=(timeline.now
+                                             - timeline.start_ns),
+                           stages=len(timeline._exposure))
             by_stage = self.breakdown.by_stage
             for stage, ns in timeline._exposure.items():
                 if ns > 0.0:
@@ -211,6 +220,13 @@ class DedupScheme(abc.ABC):
         """Seal a read's timeline and fold it into ``read_breakdown``."""
         if _memo.ENABLED:
             timeline._sealed = True
+            obs = _obs.RUN
+            if obs is not None:
+                # Fast-path seal point (see _finalize_write).
+                obs.record(timeline.now, "timeline", "sealed",
+                           critical_path_ns=(timeline.now
+                                             - timeline.start_ns),
+                           stages=len(timeline._exposure))
             by_stage = self.read_breakdown.by_stage
             for stage, ns in timeline._exposure.items():
                 if ns > 0.0:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..nvmm.allocator import FrameAllocator
 from ..nvmm.controller import MemoryController
+from ..obs import runtime as _obs
 
 
 @dataclass
@@ -109,12 +110,17 @@ class MappingTable:
         """
         t = at_time_ns + self.probe_latency_ns
         cached = self._cache.get(logical_line)
+        obs = _obs.RUN
         if cached is not None:
             self._cache.move_to_end(logical_line)
             self.cache_hits += 1
+            if obs is not None:
+                obs.record(t, "amt", "hit", line=logical_line)
             return cached.frame, t, True
         self.cache_misses += 1
         self.nvmm_reads += 1
+        if obs is not None:
+            obs.record(t, "amt", "miss", line=logical_line)
         t = self._controller.metadata_read(logical_line, t).completion_ns
         frame = self._home.get(logical_line)
         if frame is not None:

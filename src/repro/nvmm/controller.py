@@ -19,6 +19,7 @@ from typing import List, NamedTuple, Optional, Tuple
 
 from ..common.config import PCMConfig
 from ..common.stats import Counter
+from ..obs import runtime as _obs
 from ..perf import memo as _memo
 from ..common.errors import InvalidAddressError
 from .bank import Bank, BankService
@@ -137,6 +138,10 @@ class MemoryController:
             data = self.device.read_line(line_number)
             self.energy.charge(EnergyCategory.PCM_READ, energy)
             self.counters.incr("data_reads")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(service.completion_ns, "controller", "data_read",
+                           line=line_number, latency_ns=service.latency_ns)
             return data, AccessResult(service=service)
         bank = self.banks[line_number % self._num_banks]
         if bank.access_row(line_number // self._row_size_lines):
@@ -157,6 +162,10 @@ class MemoryController:
         buckets[_PCM_READ] = buckets.get(_PCM_READ, 0.0) + energy
         values = self._counter_values
         values["data_reads"] = values.get("data_reads", 0) + 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(service.completion_ns, "controller", "data_read",
+                       line=line_number, latency_ns=service.latency_ns)
         return data, AccessResult(service=service)
 
     def write(self, line_number: int, data: bytes,
@@ -175,6 +184,10 @@ class MemoryController:
             self.energy.charge(EnergyCategory.PCM_WRITE,
                                self.config.write_energy_nj)
             self.counters.incr("data_writes")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(service.completion_ns, "controller", "data_write",
+                           line=line_number, latency_ns=service.latency_ns)
             return AccessResult(service=service)
         bank = self.banks[line_number % self._num_banks]
         bank.access_row(line_number // self._row_size_lines)
@@ -184,6 +197,10 @@ class MemoryController:
         buckets[_PCM_WRITE] = buckets.get(_PCM_WRITE, 0.0) + self._write_energy_nj
         values = self._counter_values
         values["data_writes"] = values.get("data_writes", 0) + 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(service.completion_ns, "controller", "data_write",
+                       line=line_number, latency_ns=service.latency_ns)
         return AccessResult(service=service)
 
     def write_partial(self, key: int, fraction: float,
@@ -205,6 +222,11 @@ class MemoryController:
             self.energy.charge(EnergyCategory.PCM_WRITE,
                                self.config.write_energy_nj * fraction)
             self.counters.incr("partial_writes")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(service.completion_ns, "controller",
+                           "partial_write", key=key, fraction=fraction,
+                           latency_ns=service.latency_ns)
             return AccessResult(service=service)
         bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
         bank.access_row(~(key >> 3))
@@ -214,6 +236,11 @@ class MemoryController:
                                + self._write_energy_nj * fraction)
         values = self._counter_values
         values["partial_writes"] = values.get("partial_writes", 0) + 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(service.completion_ns, "controller", "partial_write",
+                       key=key, fraction=fraction,
+                       latency_ns=service.latency_ns)
         return AccessResult(service=service)
 
     # ------------------------------------------------------------------
@@ -239,6 +266,11 @@ class MemoryController:
             service = bank.service(at_time_ns, latency)
             self.energy.charge(EnergyCategory.PCM_READ, energy)
             self.counters.incr("metadata_reads")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(service.completion_ns, "controller",
+                           "metadata_read", key=key,
+                           latency_ns=service.latency_ns)
             return AccessResult(service=service)
         bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
         if bank.access_row(~(key >> 3)):
@@ -252,6 +284,10 @@ class MemoryController:
         buckets[_PCM_READ] = buckets.get(_PCM_READ, 0.0) + energy
         values = self._counter_values
         values["metadata_reads"] = values.get("metadata_reads", 0) + 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(service.completion_ns, "controller", "metadata_read",
+                       key=key, latency_ns=service.latency_ns)
         return AccessResult(service=service)
 
     def metadata_write(self, key: int, at_time_ns: float) -> AccessResult:
@@ -264,6 +300,11 @@ class MemoryController:
             self.energy.charge(EnergyCategory.PCM_WRITE,
                                self.config.write_energy_nj)
             self.counters.incr("metadata_writes")
+            obs = _obs.RUN
+            if obs is not None:
+                obs.record(service.completion_ns, "controller",
+                           "metadata_write", key=key,
+                           latency_ns=service.latency_ns)
             return AccessResult(service=service)
         bank = self.banks[(key * 2654435761 >> 8) % self._num_banks]
         bank.access_row(~(key >> 3))
@@ -272,6 +313,10 @@ class MemoryController:
         buckets[_PCM_WRITE] = buckets.get(_PCM_WRITE, 0.0) + self._write_energy_nj
         values = self._counter_values
         values["metadata_writes"] = values.get("metadata_writes", 0) + 1
+        obs = _obs.RUN
+        if obs is not None:
+            obs.record(service.completion_ns, "controller", "metadata_write",
+                       key=key, latency_ns=service.latency_ns)
         return AccessResult(service=service)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""repro.obs — run-scoped metrics, tracing, and report export.
+
+Three pieces (see DESIGN.md §9):
+
+* :mod:`repro.obs.metrics` — a typed registry of labelled counters,
+  gauges, and fixed-bucket histograms with a snapshot/reset lifecycle;
+* :mod:`repro.obs.tracing` — a bounded ring buffer of per-request
+  ``(tick, request_id, component, event, payload)`` records with
+  configurable request sampling;
+* :mod:`repro.obs.export` — JSONL trace dump and JSON/CSV metric
+  reports, surfaced by the ``repro trace`` / ``repro report`` CLI
+  subcommands and persisted per-job by the sweep ``ResultStore``.
+
+Everything is gated by ``SystemConfig.observability`` and scoped to one
+engine run by :mod:`repro.obs.runtime`; with observability off the whole
+layer reduces to a module-global ``is None`` test per hook site and
+simulated results are bit-identical (property-tested).
+"""
+
+from .export import (OBS_SCHEMA_VERSION, build_report, metrics_to_csv,
+                     read_trace_jsonl, write_trace_jsonl)
+from .metrics import (DEFAULT_LATENCY_BOUNDS_NS, MetricsRegistry, ObsCounter,
+                      ObsGauge, ObsHistogram)
+from .runtime import RunObservation, begin_run, current, end_run
+from .tracing import TraceEvent, TraceRing
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS_NS",
+    "MetricsRegistry",
+    "OBS_SCHEMA_VERSION",
+    "ObsCounter",
+    "ObsGauge",
+    "ObsHistogram",
+    "RunObservation",
+    "TraceEvent",
+    "TraceRing",
+    "begin_run",
+    "build_report",
+    "current",
+    "end_run",
+    "metrics_to_csv",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,120 @@
+"""Process-global, run-scoped observation lifecycle.
+
+Mirrors the :mod:`repro.perf.memo` pattern: a module global (``RUN``)
+holds the active scope, :func:`begin_run` installs a new scope and
+returns the previous one, :func:`end_run` restores it.  Hook sites all
+over the simulator read the global directly::
+
+    from repro.obs import runtime as _obs
+
+    obs = _obs.RUN
+    if obs is not None:
+        obs.record(tick, "controller", "pcm_write", bank=bank)
+
+so with observability disabled (``RUN is None``, the default) each hook
+costs one module-attribute load and an ``is None`` test — close enough
+to zero that the perf-smoke gate cannot see it.
+
+A scope is **run-scoped**: the engine opens one per
+:meth:`~repro.sim.engine.SimulationEngine.run` from
+``SystemConfig.observability`` and harvests it into the result when the
+run ends.  Nested runs (a sweep worker warming up, a test driving two
+engines) stack correctly because begin/end save and restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import ObservabilityConfig
+from .metrics import DEFAULT_LATENCY_BOUNDS_NS, MetricsRegistry, ObsHistogram
+from .tracing import TraceEvent, TraceRing
+
+__all__ = ["RUN", "RunObservation", "begin_run", "current", "end_run"]
+
+
+class RunObservation:
+    """One run's instrumentation state: registry, trace ring, sampling.
+
+    ``begin_request`` decides once per request whether its trace events
+    are kept (``request_id % sample_every == 0``); :meth:`record` then
+    bails on one attribute test for unsampled requests.  Metrics are
+    never sampled — only the trace is.
+    """
+
+    __slots__ = ("config", "registry", "ring", "sample_every",
+                 "request_id", "request_sampled",
+                 "write_latency_hist", "read_latency_hist")
+
+    def __init__(self, config: ObservabilityConfig) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.ring = TraceRing(config.trace_capacity)
+        self.sample_every = config.sample_every
+        #: Sequence number of the request currently being served; -1
+        #: outside any request (e.g. warm-up bookkeeping).
+        self.request_id = -1
+        self.request_sampled = False
+        self.write_latency_hist: ObsHistogram = self.registry.histogram(
+            "request_latency_ns", DEFAULT_LATENCY_BOUNDS_NS, op="write")
+        self.read_latency_hist: ObsHistogram = self.registry.histogram(
+            "request_latency_ns", DEFAULT_LATENCY_BOUNDS_NS, op="read")
+
+    def begin_request(self, request_id: int) -> None:
+        self.request_id = request_id
+        self.request_sampled = (request_id % self.sample_every == 0)
+
+    def record(self, tick: float, component: str, event: str,
+               **payload: object) -> None:
+        """Trace an event for the current request, if it is sampled."""
+        if self.request_sampled:
+            self.ring.record(TraceEvent(
+                tick, self.request_id, component, event, payload))
+
+    def emit(self, tick: float, request_id: int, component: str,
+             event: str, payload: Optional[Dict[str, object]] = None) -> None:
+        """Trace an event unconditionally (sampling bypassed).
+
+        For rare, high-signal occurrences — an LRCU decay pass, an ECC
+        fingerprint collision — that must not vanish just because they
+        happened during an unsampled request.
+        """
+        self.ring.record(TraceEvent(
+            tick, request_id, component, event, payload or {}))
+
+
+#: The active run scope, or None when observability is disabled (the
+#: default).  Hook sites read this directly; only begin_run/end_run
+#: assign it.
+RUN: Optional[RunObservation] = None
+
+
+def current() -> Optional[RunObservation]:
+    """The active run scope, if any."""
+    return RUN
+
+
+def begin_run(
+        config: Optional[ObservabilityConfig]) -> Optional[RunObservation]:
+    """Open a run scope; returns the previous scope for :func:`end_run`.
+
+    With ``config`` absent or disabled the scope is ``None`` and every
+    hook site stays on its no-op branch.
+    """
+    global RUN
+    previous = RUN
+    if config is not None and config.enabled:
+        RUN = RunObservation(config)
+    else:
+        RUN = None
+    return previous
+
+
+def end_run(
+        previous: Optional[RunObservation]) -> Optional[RunObservation]:
+    """Close the current scope, restore ``previous``, return the closed
+    scope so the caller can harvest its registry and trace."""
+    global RUN
+    finished = RUN
+    RUN = previous
+    return finished

@@ -1,0 +1,112 @@
+"""Bounded per-request event tracing.
+
+A trace is a sequence of :class:`TraceEvent` records — ``(tick,
+request_id, component, event, payload)`` — captured into a
+:class:`TraceRing`, a fixed-capacity ring buffer.  The ring bounds memory
+under adversarial request floods: once full, recording a new event evicts
+the oldest one, and the ``dropped`` counter says how many were lost.
+Sampling (keep one request in every *N*) is decided per request by the
+run scope in :mod:`repro.obs.runtime`, not here, so the ring itself stays
+a dumb bounded container.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    """One structured trace record.
+
+    ``tick`` is the simulated time in nanoseconds at which the event was
+    observed; ``request_id`` is the trace sequence number of the request
+    being served (or ``-1`` for events outside any request, e.g. an LRCU
+    decay pass triggered by background refresh).  ``payload`` is a small
+    JSON-serializable dict of event-specific fields.
+    """
+
+    tick: float
+    request_id: int
+    component: str
+    event: str
+    payload: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "request_id": self.request_id,
+            "component": self.component,
+            "event": self.event,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        payload = data.get("payload") or {}
+        if not isinstance(payload, dict):
+            raise ValueError(f"trace payload must be a dict, "
+                             f"got {type(payload).__name__}")
+        return cls(
+            tick=float(data["tick"]),  # type: ignore[arg-type]
+            request_id=int(data["request_id"]),  # type: ignore[arg-type]
+            component=str(data["component"]),
+            event=str(data["event"]),
+            payload=payload,
+        )
+
+
+class TraceRing:
+    """Fixed-capacity ring of :class:`TraceEvent` records.
+
+    ``capacity`` bounds live memory; ``recorded`` counts every event ever
+    offered, so ``dropped = recorded - len(ring)`` exposes eviction
+    pressure without retaining the evicted events.
+    """
+
+    __slots__ = ("capacity", "recorded", "_events")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self.recorded = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._events)
+
+    def record(self, event: TraceEvent) -> None:
+        self.recorded += 1
+        self._events.append(event)
+
+    def emit(self, tick: float, request_id: int, component: str,
+             event: str, payload: Optional[Dict[str, object]] = None) -> None:
+        """Convenience wrapper building the event record in place."""
+        self.recorded += 1
+        self._events.append(
+            TraceEvent(tick, request_id, component, event, payload or {}))
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self.recorded = 0
+        self._events.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "retained": len(self._events),
+            "dropped": self.dropped,
+        }

@@ -32,6 +32,9 @@ from ..common.errors import IntegrityError
 from ..common.stats import LatencyRecorder
 from ..common.types import AccessType, MemoryRequest
 from ..dedup.base import DedupScheme
+from ..obs import runtime as _obs_runtime
+from ..obs.export import build_report
+from ..obs.harvest import harvest_run
 from ..perf import begin_run as _fastpath_begin
 from ..perf import end_run as _fastpath_end
 from .metrics import SimulationResult, collect_extras
@@ -105,6 +108,11 @@ class SimulationEngine:
         # function of (trace, scheme, config), independent of whether the
         # cell runs serially or on a sweep worker.
         fast_prev, fast_on = _fastpath_begin(self.config.use_fastpath)
+        # Observability scope (repro.obs): opened after the fast-path
+        # switch so hook sites observe a fully configured run; with the
+        # default disabled config, RUN stays None and every hook site
+        # short-circuits on one is-None test.
+        obs_prev = _obs_runtime.begin_run(self.config.observability)
         loop = self._loop_fast if fast_on else self._loop_reference
         try:
             writes, reads, dedup_at_warmup = loop(
@@ -112,12 +120,21 @@ class SimulationEngine:
                 verify, warmup_after, instructions_per_access,
                 dedup_at_warmup)
         finally:
+            obs_run = _obs_runtime.end_run(obs_prev)
             memo_stats = _fastpath_end(fast_prev)
 
         extras = collect_extras(scheme)
         extras["fastpath_enabled"] = 1.0 if fast_on else 0.0
         if fast_on:
             extras.update(memo_stats)
+
+        obs_report = None
+        if obs_run is not None:
+            # Migrate the legacy counter channels onto the registry after
+            # the loop has finished (observational only — extras above were
+            # computed identically with or without obs).
+            harvest_run(obs_run, scheme, memo_stats if fast_on else {})
+            obs_report = build_report(obs_run)
 
         controller = scheme.controller
         return SimulationResult(
@@ -138,6 +155,7 @@ class SimulationEngine:
             ipc=core.ipc,
             metadata=scheme.metadata_footprint(),
             extras=extras,
+            obs=obs_report,
         )
 
     def _loop_fast(self, requests, scheme, core, window, write_rec,
@@ -173,8 +191,13 @@ class SimulationEngine:
         instructions = 0
         processed = 0
         writes = reads = 0
+        # Hoisted observation scope: fixed for the whole run (begin_run ran
+        # before the loop was chosen), so one load serves every request.
+        obs = _obs_runtime.RUN
         try:
             for request in requests:
+                if obs is not None:
+                    obs.begin_request(processed)
                 # Closed-loop throttling: delay the issue until a window slot
                 # frees up.
                 issue = request.issue_time_ns
@@ -194,6 +217,12 @@ class SimulationEngine:
                     if processed >= warmup_after:
                         write_lat_append(latency)
                     stall_cycles += (latency / cycle_ns) * write_stall_fraction
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.write_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "write_done",
+                                   address=request.address,
+                                   latency_ns=latency)
                 else:
                     rresult = handle_read(request)
                     latency = rresult.latency_ns
@@ -207,6 +236,12 @@ class SimulationEngine:
                     if processed >= warmup_after:
                         read_lat_append(latency)
                     stall_cycles += latency / cycle_ns
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.read_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "read_done",
+                                   address=request.address,
+                                   latency_ns=latency)
 
                 instructions += instructions_per_access
                 window_append(completion)
@@ -225,11 +260,15 @@ class SimulationEngine:
     def _loop_reference(self, requests, scheme, core, window, write_rec,
                         read_rec, verify, warmup_after,
                         instructions_per_access, dedup_at_warmup):
-        """Reference request loop (pre-fast-path form, kept verbatim)."""
+        """Reference request loop (pre-fast-path form, kept verbatim
+        apart from the observation hooks, which mirror the fast loop's)."""
         ec = self.engine_config
         processed = 0
         writes = reads = 0
+        obs = _obs_runtime.RUN
         for request in requests:
+            if obs is not None:
+                obs.begin_request(processed)
             # Closed-loop throttling: delay the issue until a window slot
             # frees up.
             issue = request.issue_time_ns
@@ -250,6 +289,12 @@ class SimulationEngine:
                     write_rec.add(latency)
                     writes += 1
                 core.memory_stall(latency, is_write=True)
+                if obs is not None:
+                    if processed >= warmup_after:
+                        obs.write_latency_hist.observe(latency)
+                    obs.record(completion, "engine", "write_done",
+                               address=request.address,
+                               latency_ns=latency)
             else:
                 rresult = scheme.handle_read(request)
                 latency = rresult.latency_ns
@@ -264,6 +309,12 @@ class SimulationEngine:
                     read_rec.add(latency)
                     reads += 1
                 core.memory_stall(latency, is_write=False)
+                if obs is not None:
+                    if processed >= warmup_after:
+                        obs.read_latency_hist.observe(latency)
+                    obs.record(completion, "engine", "read_done",
+                               address=request.address,
+                               latency_ns=latency)
 
             core.retire_instructions(instructions_per_access)
             window.append(completion)

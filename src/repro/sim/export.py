@@ -12,6 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -20,6 +21,17 @@ from ..common.types import LatencyBreakdown, WritePathStage
 from ..dedup.base import MetadataFootprint
 from .metrics import SimulationResult
 from .runner import ResultGrid
+
+
+def _tail(recorder: LatencyRecorder, p: float) -> Optional[float]:
+    """A percentile for export: ``None`` (JSON null) when no samples.
+
+    ``LatencyRecorder.percentile`` returns NaN for an empty recorder;
+    NaN is not valid strict JSON and silently compares unequal, so the
+    export boundary maps it to ``None``.
+    """
+    value = recorder.percentile(p)
+    return None if math.isnan(value) else value
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
@@ -39,13 +51,14 @@ def result_to_dict(result: SimulationResult) -> Dict:
         },
         "latency_ns": {
             "write_mean": result.mean_write_latency_ns,
-            "write_p50": result.write_latency.percentile(50),
-            "write_p90": result.write_latency.percentile(90),
-            "write_p99": result.write_latency.percentile(99),
-            "write_p999": result.write_latency.percentile(99.9),
-            "write_max": result.write_latency.max_ns,
+            "write_p50": _tail(result.write_latency, 50),
+            "write_p90": _tail(result.write_latency, 90),
+            "write_p99": _tail(result.write_latency, 99),
+            "write_p999": _tail(result.write_latency, 99.9),
+            "write_max": (result.write_latency.max_ns
+                          if result.write_latency.count else None),
             "read_mean": result.mean_read_latency_ns,
-            "read_p99": result.read_latency.percentile(99),
+            "read_p99": _tail(result.read_latency, 99),
         },
         "energy_nj": dict(result.energy_nj),
         "energy_total_nj": result.total_energy_nj,
@@ -96,12 +109,13 @@ CSV_COLUMNS: List[str] = [
 
 
 def _csv_row(result: SimulationResult) -> List:
+    p99 = _tail(result.write_latency, 99)
     return [
         result.app, result.scheme, result.writes, result.reads,
         f"{result.write_reduction:.6f}",
         result.pcm_data_writes, result.pcm_metadata_writes,
         f"{result.mean_write_latency_ns:.3f}",
-        f"{result.write_latency.percentile(99):.3f}",
+        "" if p99 is None else f"{p99:.3f}",
         f"{result.mean_read_latency_ns:.3f}",
         f"{result.total_energy_nj:.3f}",
         f"{result.ipc:.6f}",

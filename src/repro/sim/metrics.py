@@ -62,6 +62,12 @@ class SimulationResult:
     metadata: Optional[MetadataFootprint] = None
     #: Scheme-specific rates, e.g. {"efit_hit_rate": ..., "amt_hit_rate": ...}.
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Observability report (``repro.obs.export.build_report``) when the
+    #: run had ``SystemConfig.observability.enabled``; ``None`` otherwise.
+    #: Held in memory only — deliberately excluded from the persisted
+    #: result state (see ``repro.sim.export``), which keeps STATE_VERSION
+    #: stable; the sweep store persists it separately.
+    obs: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Derived metrics

@@ -14,6 +14,10 @@ Execution model:
   extra attempts before the sweep raises :class:`~repro.common.errors.SweepError`.
 * ``jobs=1`` bypasses the pool and runs in-process (no fork overhead, and
   exceptions surface with full tracebacks) while still using the store.
+* ``KeyboardInterrupt`` is a clean shutdown, not a crash: worker processes
+  are terminated, the manifest is written with ``interrupted: true``, and
+  the signal propagates.  Completed cells were already flushed atomically,
+  so a re-invocation resumes from them.
 
 Determinism: every scheme run seeds its own RNGs from its configuration and
 consumes a replayed trace, so cell results are independent of worker count
@@ -157,13 +161,26 @@ class Scheduler:
 
         trace_paths = self._ensure_traces(pending, store)
 
-        if pending:
-            if self.jobs == 1:
-                self._run_serial(pending, trace_paths, digests, store,
-                                 reporter, results)
-            else:
-                self._run_pool(pending, trace_paths, digests, store,
-                               reporter, results)
+        try:
+            if pending:
+                if self.jobs == 1:
+                    self._run_serial(pending, trace_paths, digests, store,
+                                     reporter, results)
+                else:
+                    self._run_pool(pending, trace_paths, digests, store,
+                                   reporter, results)
+        except KeyboardInterrupt:
+            # Graceful Ctrl-C: completed rows were already flushed
+            # atomically by _record, so the store is consistent; mark the
+            # manifest interrupted and let the signal propagate.  A
+            # re-invocation resumes from the finished cells.
+            reporter.finish()
+            manifest = reporter.manifest()
+            manifest["jobs_flag"] = self.jobs
+            manifest["interrupted"] = True
+            if self.store is not None:
+                store.write_manifest(manifest)
+            raise
 
         reporter.finish()
         manifest = reporter.manifest()
@@ -264,6 +281,17 @@ class Scheduler:
                                          attempts[digest], duration)
                 except FutureTimeout:
                     timed_out = True
+                except KeyboardInterrupt:
+                    # Ctrl-C mid-round: in-flight cells are abandoned (they
+                    # can re-run on resume).  Force-stop the round's worker
+                    # processes before the executor's final join — without
+                    # this, the ``with`` block's shutdown(wait=True) hangs
+                    # on busy workers and a second Ctrl-C is required.
+                    for proc in list((getattr(pool, "_processes", None)
+                                      or {}).values()):
+                        proc.terminate()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
                 if timed_out:
                     # Tear the round down; unfinished jobs burn one attempt.
                     # A hung worker would otherwise block the executor's
@@ -291,6 +319,12 @@ class Scheduler:
     def _record(self, spec, result, digests, store, reporter, results,
                 attempts: int, duration: float) -> None:
         store.put(digests[spec], result, job=job_meta(spec))
+        if result.obs is not None:
+            # Observability reports live beside the result rows (store
+            # ``obs/`` directory) — they are diagnostic artifacts, not part
+            # of a cell's cache identity, so result digests stay stable
+            # whether or not a run carried instrumentation.
+            store.put_obs(digests[spec], result.obs)
         results[spec.key] = result
         reporter.job_done(spec, STATUS_SIMULATED, attempts=attempts,
                           duration_s=duration)

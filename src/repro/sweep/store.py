@@ -4,6 +4,8 @@ Layout under the store root::
 
     results/<job-digest>.json   one simulated cell, full-fidelity state
     traces/<trace-id>.esdtrace  shared per-application request stream
+    obs/<job-digest>.json       observability report (only when the sweep
+                                ran with observability enabled)
     manifest.json               machine-readable record of the last sweep
 
 Result rows are written atomically (temp file + ``os.replace``), so a
@@ -36,6 +38,9 @@ class ResultStore:
         self.root = Path(root)
         self.results_dir = self.root / "results"
         self.traces_dir = self.root / "traces"
+        #: Created lazily by :meth:`put_obs` — stores from sweeps that never
+        #: enable observability keep the pre-obs layout.
+        self.obs_dir = self.root / "obs"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.traces_dir.mkdir(parents=True, exist_ok=True)
 
@@ -98,6 +103,33 @@ class ResultStore:
             except OSError:
                 pass
             raise
+
+    # ------------------------------------------------------------------
+    # Observability reports
+    # ------------------------------------------------------------------
+
+    def obs_path(self, digest: str) -> Path:
+        return self.obs_dir / f"{digest}.json"
+
+    def put_obs(self, digest: str, report: Dict) -> Path:
+        """Atomically persist one observability report; returns its path.
+
+        Reports are stored beside — not inside — the result rows: a
+        result row's digest (and therefore cache identity) must not
+        depend on whether its run happened to carry instrumentation.
+        """
+        self.obs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.obs_path(digest)
+        self._atomic_write(path, json.dumps(report, sort_keys=True))
+        return path
+
+    def get_obs(self, digest: str) -> Optional[Dict]:
+        """The stored observability report, or ``None`` on a miss."""
+        try:
+            payload = json.loads(self.obs_path(digest).read_text())
+        except (FileNotFoundError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     # ------------------------------------------------------------------
     # Shared traces

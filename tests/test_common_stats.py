@@ -76,8 +76,26 @@ class TestLatencyRecorder:
     def test_empty_recorder(self):
         rec = LatencyRecorder()
         assert rec.mean_ns == 0.0
-        assert rec.percentile(50) == 0.0
         assert rec.cdf() == ([], [])
+
+    def test_empty_percentile_is_nan(self):
+        # Regression: an empty recorder used to report percentile 0.0,
+        # indistinguishable from a genuine zero-latency tail.  NaN is the
+        # unambiguous "no data" sentinel; exporters map it to None/blank.
+        rec = LatencyRecorder()
+        for p in (0, 50, 90, 99, 99.9, 100):
+            assert math.isnan(rec.percentile(p))
+
+    def test_empty_tail_summary_is_all_nan(self):
+        summary = LatencyRecorder().tail_summary()
+        assert set(summary) == {"p50", "p90", "p99", "p999"}
+        assert all(math.isnan(v) for v in summary.values())
+
+    def test_single_sample_percentile_is_finite(self):
+        rec = LatencyRecorder()
+        rec.add(42.0)
+        assert rec.percentile(50) == 42.0
+        assert rec.percentile(99.9) == 42.0
 
     def test_rejects_negative_latency(self):
         with pytest.raises(ValueError):

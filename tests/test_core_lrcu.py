@@ -116,7 +116,9 @@ class TestPlainLRUMode:
 
 class TestDecay:
     def test_decay_reduces_counts(self):
-        c = LRCUCache(capacity=16, decay_period=4, decay_amount=1)
+        # Legacy insertion-driven epoch: touches never advance it.
+        c = LRCUCache(capacity=16, decay_period=4, decay_amount=1,
+                      decay_on="insert")
         c.put("a", 1)
         for _ in range(5):
             c.touch("a")
@@ -140,6 +142,64 @@ class TestDecay:
         for i in range(50):
             c.put(f"k{i}", i)
         assert c.count("a") == 2
+        assert c.decay_passes == 0
+
+    def test_insert_mode_ignores_gets_and_touches(self):
+        # Regression for the latent bug this mode preserves: under
+        # ``decay_on="insert"`` a lookup/touch-only phase never decays.
+        c = LRCUCache(capacity=16, decay_period=4, decay_amount=1,
+                      decay_on="insert")
+        c.put("a", 1)
+        for _ in range(100):
+            c.get("a")
+            c.touch("a")
+            c.get("missing")
+        assert c.decay_passes == 0
+
+
+class TestDecayOps:
+    """The fixed default: every operation advances the decay epoch."""
+
+    def test_touches_drive_decay(self):
+        c = LRCUCache(capacity=16, decay_period=4, decay_amount=1)
+        c.put("a", 1)          # op 1
+        c.touch("a")           # op 2 -> count 2
+        c.touch("a")           # op 3 -> count 3
+        c.touch("a")           # op 4 -> count 4, then decay -> 3
+        assert c.decay_passes == 1
+        assert c.count("a") == 3
+
+    def test_gets_drive_decay_even_on_miss(self):
+        c = LRCUCache(capacity=16, decay_period=3, decay_amount=1)
+        c.put("a", 1)
+        c.touch("a")           # count 2 (op 2)
+        c.get("nope")          # miss still ticks (op 3 -> decay)
+        assert c.decay_passes == 1
+        assert c.count("a") == 1
+
+    def test_replace_put_drives_decay(self):
+        c = LRCUCache(capacity=16, decay_period=2, decay_amount=1)
+        c.put("a", 1)          # op 1
+        assert c.put("a", 2) is None  # replace, op 2 -> decay
+        assert c.decay_passes == 1
+
+    def test_touch_returns_pre_decay_count(self):
+        # The bump that triggers the pass reports its own result; the
+        # decay applies after.
+        c = LRCUCache(capacity=16, decay_period=2, decay_amount=1)
+        c.put("a", 1)          # op 1
+        assert c.touch("a") == 2  # op 2 fires decay, return value is 2
+        assert c.count("a") == 1  # decayed afterwards
+
+    def test_validation_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            LRCUCache(capacity=4, decay_on="never")
+
+    def test_decay_disabled_ignores_ops(self):
+        c = LRCUCache(capacity=16, decay_period=0)
+        c.put("a", 1)
+        for _ in range(100):
+            c.get("a")
         assert c.decay_passes == 0
 
     def test_items_iteration(self):

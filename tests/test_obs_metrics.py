@@ -1,0 +1,182 @@
+"""Tests for the typed metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_NS,
+    MetricsRegistry,
+    ObsCounter,
+    ObsGauge,
+    ObsHistogram,
+    format_labels,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = ObsCounter("writes", ())
+        c.inc()
+        c.inc(4.0)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ObsCounter("writes", ()).inc(-1.0)
+
+    def test_reset(self):
+        c = ObsCounter("writes", ())
+        c.inc(3.0)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = ObsGauge("hit_rate", ())
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_reset(self):
+        g = ObsGauge("hit_rate", ())
+        g.set(0.9)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_buckets_and_aggregates(self):
+        h = ObsHistogram("lat", (), bounds=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0, 7.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(562.0)
+        assert h.min == 5.0
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(140.5)
+        assert h.bucket_counts == [2, 1, 1]  # <=10, <=100, +inf
+
+    def test_empty_aggregates_are_nan(self):
+        h = ObsHistogram("lat", ())
+        assert math.isnan(h.min)
+        assert math.isnan(h.max)
+        assert math.isnan(h.mean)
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        h = ObsHistogram("lat", (), bounds=(10.0, 100.0))
+        h.observe(10.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            ObsHistogram("lat", (), bounds=(100.0, 10.0))
+
+    def test_reset(self):
+        h = ObsHistogram("lat", (), bounds=(10.0,))
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.bucket_counts == [0, 0]
+        assert math.isnan(h.min)
+
+
+class TestRegistry:
+    def test_same_key_shares_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", component="efit")
+        b = reg.counter("hits", component="efit")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        efit = reg.counter("hits", component="efit")
+        amt = reg.counter("hits", component="amt")
+        assert efit is not amt
+        assert len(reg) == 2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(TypeError):
+            reg.gauge("hits")
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(5.0)
+        reg.reset()
+        assert len(reg) == 1
+        assert reg.counter("hits").value == 0.0
+
+    def test_clear_drops_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_instruments_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.counter("alpha")
+        names = [inst.name for inst in reg.instruments()]
+        assert names == ["alpha", "zeta"]
+
+
+class TestSnapshot:
+    def test_counter_and_gauge_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("writes", component="scheme").inc(3.0)
+        reg.gauge("hit_rate").set(0.75)
+        rows = {row["name"]: row for row in reg.snapshot()}
+        assert rows["writes"]["type"] == "counter"
+        assert rows["writes"]["value"] == 3.0
+        assert rows["writes"]["labels"] == {"component": "scheme"}
+        assert rows["hit_rate"]["type"] == "gauge"
+        assert rows["hit_rate"]["value"] == 0.75
+
+    def test_histogram_row(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(10.0,))
+        h.observe(5.0)
+        (row,) = reg.snapshot()
+        assert row["type"] == "histogram"
+        assert row["count"] == 1
+        assert row["sum"] == 5.0
+        assert row["min"] == 5.0 and row["max"] == 5.0
+        assert row["buckets"] == [{"le": 10.0, "count": 1},
+                                  {"le": "+inf", "count": 0}]
+
+    def test_empty_histogram_min_max_are_none(self):
+        # The registry follows the empty-recorder sentinel rule: no data
+        # exports as None, never as a fake 0.0.
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        (row,) = reg.snapshot()
+        assert row["min"] is None and row["max"] is None
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+        reg = MetricsRegistry()
+        reg.counter("a", x="1").inc()
+        reg.histogram("b", bounds=DEFAULT_LATENCY_BOUNDS_NS).observe(3.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+
+class TestFlatView:
+    def test_flat_keys_carry_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", component="efit").inc(2.0)
+        reg.gauge("rate").set(0.5)
+        reg.histogram("lat", bounds=(10.0,)).observe(4.0)
+        flat = reg.as_flat()
+        assert flat['hits{component="efit"}'] == 2.0
+        assert flat["rate"] == 0.5
+        assert flat["lat_count"] == 1.0
+        assert flat["lat_sum"] == 4.0
+
+    def test_format_labels(self):
+        assert format_labels(()) == ""
+        assert format_labels((("a", "1"), ("b", "2"))) == '{a="1",b="2"}'

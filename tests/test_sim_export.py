@@ -39,6 +39,32 @@ class TestResultToDict:
         for result in grid.values():
             json.dumps(result_to_dict(result))
 
+    def test_empty_recorder_exports_none_not_zero(self):
+        # Regression: an empty LatencyRecorder percentile is NaN; the
+        # export boundary maps it to None so JSON consumers cannot
+        # mistake "no traffic" for a zero-latency tail.
+        from repro.common.stats import LatencyRecorder
+        from repro.sim.metrics import SimulationResult
+        result = SimulationResult(app="gcc", scheme="ESD",
+                                  write_latency=LatencyRecorder(),
+                                  read_latency=LatencyRecorder())
+        d = result_to_dict(result)
+        assert d["latency_ns"]["write_p99"] is None
+        assert d["latency_ns"]["read_p99"] is None
+        assert d["latency_ns"]["write_max"] is None
+        json.dumps(d)  # None survives serialization; NaN would not
+
+    def test_empty_recorder_csv_cell_is_blank(self):
+        from repro.common.stats import LatencyRecorder
+        from repro.sim.metrics import SimulationResult
+        result = SimulationResult(app="gcc", scheme="ESD",
+                                  write_latency=LatencyRecorder(),
+                                  read_latency=LatencyRecorder())
+        text = csv_string({("gcc", "ESD"): result})
+        row = text.strip().splitlines()[1].split(",")
+        p99_idx = CSV_COLUMNS.index("write_p99_ns")
+        assert row[p99_idx] == ""
+
     def test_energy_breakdown_present(self, grid):
         d = result_to_dict(grid[("gcc", "Baseline")])
         assert d["energy_nj"]["pcm_write"] > 0

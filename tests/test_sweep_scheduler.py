@@ -57,6 +57,11 @@ def counting_worker(spec, trace_path):
     return execute_job(spec, trace_path)
 
 
+def keyboard_interrupt_worker(spec, trace_path):
+    """Simulates Ctrl-C arriving while a job is in flight."""
+    raise KeyboardInterrupt
+
+
 class TestParity:
     def test_parallel_grid_byte_identical_to_serial(self, tmp_path):
         config = small_experiment()
@@ -183,6 +188,68 @@ class TestFailureHandling:
             Scheduler(job_timeout_s=0)
         with pytest.raises(ValueError):
             Scheduler(retries=-1)
+
+
+class TestKeyboardInterrupt:
+    def test_serial_interrupt_flushes_and_marks_manifest(self, tmp_path):
+        """Ctrl-C mid-sweep keeps finished rows and marks the manifest."""
+        config = small_experiment(requests=600)  # 4 cells
+        store = ResultStore(tmp_path / "store")
+        specs = jobs_from_experiment(config)
+
+        calls = []
+
+        def interrupt_on_second(spec, trace_path):
+            calls.append(spec.key)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return execute_job(spec, trace_path)
+
+        scheduler = Scheduler(store, jobs=1, worker=interrupt_on_second)
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run(specs)
+
+        manifest = store.read_manifest()
+        assert manifest["interrupted"] is True
+        # The completed first cell survived the interrupt.
+        assert len(list(store.iter_digests())) == 1
+
+    def test_interrupted_sweep_resumes_from_flushed_rows(self, tmp_path):
+        config = small_experiment(requests=600)
+        store = ResultStore(tmp_path / "store")
+        specs = jobs_from_experiment(config)
+
+        calls = []
+
+        def interrupt_on_second(spec, trace_path):
+            calls.append(spec.key)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return execute_job(spec, trace_path)
+
+        with pytest.raises(KeyboardInterrupt):
+            Scheduler(store, jobs=1, worker=interrupt_on_second).run(specs)
+
+        reporter = ProgressReporter(len(specs), enabled=False)
+        grid = Scheduler(store, jobs=1, reporter=reporter).run(specs)
+        assert len(grid) == 4
+        assert reporter.cached == 1  # the pre-interrupt cell
+        manifest = store.read_manifest()
+        assert "interrupted" not in manifest  # clean completion clears it
+
+    def test_pool_interrupt_terminates_workers_promptly(self, tmp_path):
+        config = small_experiment(apps=["gcc"],
+                                  schemes=["Baseline", "ESD"],
+                                  requests=600)
+        store = ResultStore(tmp_path / "store")
+        scheduler = Scheduler(store, jobs=2,
+                              worker=keyboard_interrupt_worker)
+        started = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run(jobs_from_experiment(config))
+        # Graceful teardown, not a hang waiting for the pool join.
+        assert time.monotonic() - started < 30.0
+        assert store.read_manifest()["interrupted"] is True
 
 
 class TestProgressAndManifest:
