@@ -46,11 +46,16 @@ def resolve_scheme(token: str) -> str:
 
 
 def _system_config(args) -> "SystemConfig":
+    from dataclasses import replace as _replace
     config = scaled_system_config()
     if getattr(args, "efit_kb", None):
         config = config.with_metadata_cache(efit_bytes=kib(args.efit_kb))
     if getattr(args, "amt_kb", None):
         config = config.with_metadata_cache(amt_bytes=kib(args.amt_kb))
+    if getattr(args, "no_fastpath", False):
+        config = _replace(config, use_fastpath=False)
+    if getattr(args, "no_vectorized", False):
+        config = _replace(config, use_vectorized=False)
     return config
 
 
@@ -323,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="EFIT / fingerprint cache size in KB")
         p.add_argument("--amt-kb", type=int, default=None,
                        help="AMT / mapping cache size in KB")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the memoized kernel fast path "
+                            "(repro.perf); results are bit-identical, "
+                            "only slower")
+        p.add_argument("--no-vectorized", action="store_true",
+                       help="disable the epoch-batched vectorized engine "
+                            "(repro.vec); results are bit-identical, "
+                            "only slower")
 
     run_p = sub.add_parser("run", help="run one scheme over one trace")
     add_common(run_p)

@@ -255,6 +255,14 @@ class SystemConfig:
     #: config.  Purely a host-CPU optimisation — simulated results are
     #: bit-identical either way (gated by ``benchmarks/perf_smoke.py``).
     use_fastpath: Optional[bool] = None
+    #: Epoch-batched execution engine (:mod:`repro.vec`): drain requests in
+    #: fixed-size epochs and run bit-parallel numpy kernels (line ECC,
+    #: fingerprint digests) over each epoch before the scalar per-line
+    #: resolution.  ``None`` defers to the ``REPRO_VECTORIZED`` environment
+    #: variable (default on); ``True``/``False`` force it per run.  Purely a
+    #: host-CPU optimisation — simulated results are bit-identical either
+    #: way (gated by ``tests/test_vec_parity.py`` and the perf smoke).
+    use_vectorized: Optional[bool] = None
     #: Run-scoped instrumentation (:mod:`repro.obs`): metrics registry,
     #: per-request trace ring, and exporters.  Off by default; enabling it
     #: never changes simulated results (gated by the obs parity tests).

@@ -116,6 +116,27 @@ class MemoryRequest:
         return self.access is AccessType.READ
 
 
+def request_unchecked(address: int, access: AccessType,
+                      data: "Optional[bytes]", issue_time_ns: float,
+                      core: int, seq: int) -> MemoryRequest:
+    """Build a :class:`MemoryRequest` bypassing ``__post_init__`` validation.
+
+    For trusted batch producers only — the vectorized trace reader
+    validates whole record arrays with numpy before constructing requests,
+    and re-running the per-object checks would dominate deserialization
+    time.  The caller guarantees the dataclass invariants: non-negative
+    aligned address, writes carry exactly 64 ``bytes`` of data, reads carry
+    ``None``.
+    """
+    request = MemoryRequest.__new__(MemoryRequest)
+    # One dict display beats six attribute stores; plain (non-slots)
+    # dataclass instances allow wholesale __dict__ assignment.
+    request.__dict__ = {"address": address, "access": access, "data": data,
+                        "issue_time_ns": issue_time_ns, "core": core,
+                        "seq": seq}
+    return request
+
+
 @dataclass(frozen=True)
 class PhysicalAddress:
     """ESD's packed 40-bit physical cache-line address.

@@ -60,6 +60,14 @@ class ESDScheme(DedupScheme):
         #: frame -> ECC, to invalidate EFIT entries of recycled frames.
         self._frame_ecc: Dict[int, int] = {}
 
+    def vec_prime_engines(self) -> tuple:
+        # ESD's fingerprint is the line ECC itself (handle_write calls
+        # line_ecc directly, no engine attribute); hand the epoch front
+        # end the ECC adapter so its bit-parallel batch kernel primes the
+        # line_ecc memo cache.
+        from ..ecc.codec import ECCFingerprintEngine
+        return (ECCFingerprintEngine(),)
+
     # ------------------------------------------------------------------
     # Write-path helpers
     # ------------------------------------------------------------------

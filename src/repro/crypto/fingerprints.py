@@ -85,6 +85,35 @@ class _HashEngineBase:
             cache.put(data, value)
         return value
 
+    def prime_batch(self, contents) -> int:
+        """Digest and cache every uncached content (vec epoch priming).
+
+        The vectorized engine hands each epoch's *unique* write contents
+        here before the per-line resolution, so a content repeated across
+        the epoch is digested once and every later ``fingerprint`` call
+        hits.  Batch-computed entries are charged as cache misses — the
+        digest was actually computed — keeping memo statistics truthful.
+        No-op when the fast path is disabled (there is no cache to prime).
+
+        Returns:
+            The number of digests computed and inserted.
+        """
+        if not _memo.ENABLED:
+            return 0
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = _memo.get_cache(f"fp_{self.name}",
+                                                  _FP_CACHE_CAPACITY)
+        digest = self._digest
+        primed = 0
+        for data in contents:
+            if data in cache:
+                continue
+            cache.misses += 1
+            cache.put(data, digest(data))
+            primed += 1
+        return primed
+
     def fingerprint_size_bytes(self) -> int:
         return (self.bits + 7) // 8
 
@@ -160,6 +189,10 @@ class TruncatedEngine(_HashEngineBase):
 
     def fingerprint(self, data: bytes) -> int:
         return self._inner.fingerprint(data) & ((1 << self.bits) - 1)
+
+    def prime_batch(self, contents) -> int:
+        # Delegate: the memo cache being primed is the *inner* engine's.
+        return self._inner.prime_batch(contents)
 
 
 def make_engine(name: str, costs: CryptoCosts = DEFAULT_COSTS) -> FingerprintEngine:

@@ -78,6 +78,36 @@ def line_ecc(data: bytes) -> int:
     return line_ecc_uncached(data)
 
 
+def prime_line_ecc_batch(contents) -> int:
+    """Batch-compute and cache line ECCs for uncached contents.
+
+    The vectorized engine's epoch front end calls this with an epoch's
+    unique write contents; the bit-parallel kernel
+    (:func:`repro.vec.kernels.line_ecc_batch`) computes every uncached
+    value in one numpy pass, and subsequent scalar :func:`line_ecc` calls
+    hit the primed entries.  Each batch-computed entry is charged as a
+    cache *miss* — the work was done, just not served from the cache — so
+    memo statistics keep counting actual computations.
+
+    No-op (returns 0) when the fast path is disabled: there is no cache to
+    prime, and the scalar kernel would bypass it anyway.
+
+    Returns:
+        The number of entries computed and inserted.
+    """
+    if not _memo.ENABLED:
+        return 0
+    cache = _LINE_ECC_CACHE
+    fresh = [validate_line(data) for data in contents if data not in cache]
+    if not fresh:
+        return 0
+    from ..vec.kernels import line_ecc_batch  # local: keep numpy off codec's import path
+    for data, ecc in zip(fresh, line_ecc_batch(fresh)):
+        cache.misses += 1
+        cache.put(data, ecc)
+    return len(fresh)
+
+
 def line_ecc_bytes(data: bytes) -> bytes:
     """The line ECC as 8 little-endian bytes (one per protected word)."""
     return line_ecc(data).to_bytes(WORDS_PER_LINE, "little")
@@ -174,6 +204,10 @@ class ECCFingerprintEngine:
     def fingerprint(self, data: bytes) -> int:
         # Memoized via line_ecc's content-addressed cache (repro.perf).
         return line_ecc(data)
+
+    def prime_batch(self, contents) -> int:
+        """Bit-parallel epoch priming (see :func:`prime_line_ecc_batch`)."""
+        return prime_line_ecc_batch(contents)
 
     def fingerprint_size_bytes(self) -> int:
         return self.bits // 8

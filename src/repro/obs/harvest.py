@@ -25,7 +25,8 @@ __all__ = ["harvest_run"]
 
 
 def harvest_run(run: RunObservation, scheme: "object",
-                memo_stats: Mapping[str, float]) -> None:
+                memo_stats: Mapping[str, float],
+                vec_stats: Mapping[str, float] = {}) -> None:
     """Populate the run's registry from a finished scheme's tallies.
 
     Args:
@@ -34,6 +35,9 @@ def harvest_run(run: RunObservation, scheme: "object",
             (typed loosely to avoid an import cycle).
         memo_stats: the kernel fast path's flat ``memo_*`` mapping from
             :func:`repro.perf.end_run` (empty when the fast path is off).
+        vec_stats: the vectorized engine's flat ``vec_*`` snapshot
+            (:meth:`repro.vec.epoch.VecStats.snapshot`; empty when the
+            epoch-batched loop is off).
     """
     registry = run.registry
 
@@ -82,3 +86,12 @@ def harvest_run(run: RunObservation, scheme: "object",
     # names, so ``repro report`` lists the migrated memo_* series directly.
     for name in sorted(memo_stats):
         registry.counter(name).inc(float(memo_stats[name]))
+
+    # Likewise the vectorized engine's vec_* epoch accounting, except the
+    # occupancy ratio, which lands as a gauge (it is a fraction, and
+    # summing it across harvests would be meaningless).
+    for name in sorted(vec_stats):
+        if name.endswith("_occupancy"):
+            registry.gauge(name).set(float(vec_stats[name]))
+        else:
+            registry.counter(name).inc(float(vec_stats[name]))

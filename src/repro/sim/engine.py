@@ -37,7 +37,14 @@ from ..obs.export import build_report
 from ..obs.harvest import harvest_run
 from ..perf import begin_run as _fastpath_begin
 from ..perf import end_run as _fastpath_end
+from ..vec import begin_run as _vec_begin
+from ..vec import end_run as _vec_end
+from ..vec.epoch import DEFAULT_EPOCH_SIZE, EpochPrecomputer, VecStats, iter_epochs
 from .metrics import SimulationResult, collect_extras
+
+#: Power-of-two bucket bounds for the vec engine's epoch-size histogram
+#: (epochs are ``vec_epoch_size`` except a possibly-short tail).
+_EPOCH_SIZE_BOUNDS = tuple(float(1 << i) for i in range(21))
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,10 @@ class EngineConfig:
     warmup_fraction: float = 0.1
     #: Cap on retained raw latency samples (reservoir beyond this).
     max_latency_samples: int = 200_000
+    #: Requests per epoch of the vectorized loop (:mod:`repro.vec`).  Only
+    #: consulted when that loop is selected; has no effect on results —
+    #: epoch boundaries change batching, never simulated arithmetic.
+    vec_epoch_size: int = DEFAULT_EPOCH_SIZE
 
     def __post_init__(self) -> None:
         if self.max_outstanding <= 0:
@@ -58,6 +69,8 @@ class EngineConfig:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.max_latency_samples <= 0:
             raise ValueError("max_latency_samples must be positive")
+        if self.vec_epoch_size <= 0:
+            raise ValueError("vec_epoch_size must be positive")
 
 
 class SimulationEngine:
@@ -69,6 +82,9 @@ class SimulationEngine:
         self.config: SystemConfig = scheme.config
         self.engine_config = engine_config or EngineConfig()
         self._shadow: Dict[int, bytes] = {}
+        #: Per-run epoch accounting, set by :meth:`run` when the vectorized
+        #: loop is selected (None otherwise).
+        self._vec_stats: Optional[VecStats] = None
 
     def run(self, requests: Iterable[MemoryRequest], *,
             app: str = "unknown", total_hint: Optional[int] = None,
@@ -108,12 +124,23 @@ class SimulationEngine:
         # function of (trace, scheme, config), independent of whether the
         # cell runs serially or on a sweep worker.
         fast_prev, fast_on = _fastpath_begin(self.config.use_fastpath)
+        # Epoch-batched engine (repro.vec): resolved the same way (config
+        # override wins, None defers to REPRO_VECTORIZED).  The vectorized
+        # loop replaces the per-request loop wholesale; its per-line
+        # arithmetic is byte-for-byte the fast loop's, so it composes with
+        # either fast-path setting.
+        vec_prev, vec_on = _vec_begin(self.config.use_vectorized)
+        vec_stats = VecStats() if vec_on else None
+        self._vec_stats = vec_stats
         # Observability scope (repro.obs): opened after the fast-path
         # switch so hook sites observe a fully configured run; with the
         # default disabled config, RUN stays None and every hook site
         # short-circuits on one is-None test.
         obs_prev = _obs_runtime.begin_run(self.config.observability)
-        loop = self._loop_fast if fast_on else self._loop_reference
+        if vec_on:
+            loop = self._loop_vectorized
+        else:
+            loop = self._loop_fast if fast_on else self._loop_reference
         try:
             writes, reads, dedup_at_warmup = loop(
                 requests, scheme, core, window, write_rec, read_rec,
@@ -121,19 +148,24 @@ class SimulationEngine:
                 dedup_at_warmup)
         finally:
             obs_run = _obs_runtime.end_run(obs_prev)
+            _vec_end(vec_prev)
             memo_stats = _fastpath_end(fast_prev)
 
         extras = collect_extras(scheme)
         extras["fastpath_enabled"] = 1.0 if fast_on else 0.0
+        extras["vectorized_enabled"] = 1.0 if vec_on else 0.0
         if fast_on:
             extras.update(memo_stats)
+        if vec_stats is not None:
+            extras.update(vec_stats.snapshot())
 
         obs_report = None
         if obs_run is not None:
             # Migrate the legacy counter channels onto the registry after
             # the loop has finished (observational only — extras above were
             # computed identically with or without obs).
-            harvest_run(obs_run, scheme, memo_stats if fast_on else {})
+            harvest_run(obs_run, scheme, memo_stats if fast_on else {},
+                        vec_stats=vec_stats.snapshot() if vec_stats else {})
             obs_report = build_report(obs_run)
 
         controller = scheme.controller
@@ -255,6 +287,126 @@ class SimulationEngine:
             read_rec.add_many(read_lats)
         writes = len(write_lats)
         reads = len(read_lats)
+        return writes, reads, dedup_at_warmup
+
+    def _loop_vectorized(self, requests, scheme, core, window, write_rec,
+                         read_rec, verify, warmup_after,
+                         instructions_per_access, dedup_at_warmup):
+        """Epoch-batched request loop (:mod:`repro.vec`).
+
+        Drains the stream in epochs (chunked ``islice`` — the full trace is
+        never materialized), runs the batched kernel front end over each
+        epoch (:class:`~repro.vec.epoch.EpochPrecomputer` priming the memo
+        caches), then resolves the epoch line by line with a body that is
+        byte-for-byte :meth:`_loop_fast`'s — the sequential feedback loops
+        (issue window, banks, metadata recency) and every float accumulation
+        happen in exactly the reference order, which is what the bit-exact
+        parity contract requires.  Latency batches flush per epoch, so
+        retained-buffer memory is bounded by the epoch size instead of the
+        trace length.
+        """
+        ec = self.engine_config
+        vec_stats = self._vec_stats
+        precomp = EpochPrecomputer(scheme, vec_stats)
+        handle_write = scheme.handle_write
+        handle_read = scheme.handle_read
+        write_lats: list = []
+        read_lats: list = []
+        write_lat_append = write_lats.append
+        read_lat_append = read_lats.append
+        window_append = window.append
+        window_popleft = window.popleft
+        shadow = self._shadow
+        max_outstanding = ec.max_outstanding
+        WRITE = AccessType.WRITE
+        cycle_ns = core.config.cycle_ns
+        write_stall_fraction = core.write_stall_fraction
+        stall_cycles = 0.0
+        instructions = 0
+        processed = 0
+        writes = reads = 0
+        obs = _obs_runtime.RUN
+        epoch_hist = None
+        if obs is not None:
+            epoch_hist = obs.registry.histogram("vec_epoch_size",
+                                                _EPOCH_SIZE_BOUNDS)
+        try:
+            for epoch in iter_epochs(requests, ec.vec_epoch_size):
+                precomp.precompute(epoch)
+                if epoch_hist is not None:
+                    epoch_hist.observe(float(len(epoch)))
+                for request in epoch:
+                    if obs is not None:
+                        obs.begin_request(processed)
+                    # Closed-loop throttling: delay the issue until a window
+                    # slot frees up.
+                    issue = request.issue_time_ns
+                    if len(window) >= max_outstanding:
+                        oldest = window_popleft()
+                        if oldest > issue:
+                            issue = oldest
+                    if issue != request.issue_time_ns:
+                        request = replace(request, issue_time_ns=issue)
+
+                    if request.access is WRITE:
+                        result = handle_write(request)
+                        latency = result.latency_ns
+                        completion = result.completion_ns
+                        if verify:
+                            shadow[request.address] = request.data
+                        if processed >= warmup_after:
+                            write_lat_append(latency)
+                        stall_cycles += ((latency / cycle_ns)
+                                         * write_stall_fraction)
+                        if obs is not None:
+                            if processed >= warmup_after:
+                                obs.write_latency_hist.observe(latency)
+                            obs.record(completion, "engine", "write_done",
+                                       address=request.address,
+                                       latency_ns=latency)
+                    else:
+                        rresult = handle_read(request)
+                        latency = rresult.latency_ns
+                        completion = rresult.completion_ns
+                        if verify:
+                            expected = shadow.get(request.address)
+                            if expected is not None and rresult.data != expected:
+                                raise IntegrityError(
+                                    f"read at {request.address:#x} returned "
+                                    f"stale or corrupt data under scheme "
+                                    f"{scheme.name}")
+                        if processed >= warmup_after:
+                            read_lat_append(latency)
+                        stall_cycles += latency / cycle_ns
+                        if obs is not None:
+                            if processed >= warmup_after:
+                                obs.read_latency_hist.observe(latency)
+                            obs.record(completion, "engine", "read_done",
+                                       address=request.address,
+                                       latency_ns=latency)
+
+                    instructions += instructions_per_access
+                    window_append(completion)
+                    processed += 1
+                    if processed == warmup_after:
+                        dedup_at_warmup = scheme.counters.get("dedup_hits")
+                # Per-epoch flush: identical per-sample arithmetic to one
+                # end-of-run add_many (the recorder state round-trips through
+                # the instance between batches), with retained-buffer memory
+                # bounded by the epoch size.
+                writes += len(write_lats)
+                reads += len(read_lats)
+                write_rec.add_many(write_lats)
+                read_rec.add_many(read_lats)
+                write_lats.clear()
+                read_lats.clear()
+        finally:
+            core.stall_cycles += stall_cycles
+            core.instructions += instructions
+            # On an exception mid-epoch, flush the partial batch — same
+            # observable state as _loop_fast's finally.
+            write_rec.add_many(write_lats)
+            read_rec.add_many(read_lats)
         return writes, reads, dedup_at_warmup
 
     def _loop_reference(self, requests, scheme, core, window, write_rec,

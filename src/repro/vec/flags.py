@@ -1,0 +1,40 @@
+"""Process-global switch for the vectorized epoch-batched engine.
+
+Mirrors :mod:`repro.perf.memo`'s pattern: one module-global ``ENABLED``
+flag, initialised from the ``REPRO_VECTORIZED`` environment variable and
+overridable per run through ``SystemConfig.use_vectorized`` (applied by
+``SimulationEngine.run`` via :func:`repro.vec.begin_run`).
+
+The flag gates *host-CPU execution strategy only*: with it on, the engine
+drains requests in fixed-size epochs and runs batched numpy kernels over
+each epoch before the per-line resolution, and the trace reader uses the
+batched numpy parser.  Simulated results are bit-identical either way — the
+same parity contract the kernel fast path carries, enforced by
+``benchmarks/perf_smoke.py`` and ``tests/test_vec_parity.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENV_VAR", "ENABLED", "default_enabled"]
+
+#: Environment variable controlling the process-default switch.  Any of
+#: ``0/false/off/no`` (case-insensitive) disables the vectorized engine.
+ENV_VAR = "REPRO_VECTORIZED"
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def default_enabled() -> bool:
+    """The process default for the vectorized engine, from :data:`ENV_VAR`."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSY
+
+
+#: Process-global switch consulted by the engine's loop selection and the
+#: trace serializer.  Mutated only through :func:`repro.vec.set_vectorized`
+#: / the engine's run lifecycle.
+ENABLED: bool = default_enabled()

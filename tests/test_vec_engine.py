@@ -1,0 +1,409 @@
+"""Engine-level tests for the epoch-batched (``repro.vec``) machinery.
+
+Covers the pieces the parity suite exercises only implicitly: streaming
+epoch draining, per-run :class:`VecStats` accounting and its export
+through result extras and the observability registry, the
+:class:`EpochPrecomputer`'s cache priming and scalar-fallback paths, the
+batched trace deserializer (byte-identical round trips and identical
+errors on malformed streams), and the engine/CLI control surface.
+"""
+
+import io
+import random
+import struct
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.common import small_test_config
+from repro.common.config import ObservabilityConfig
+from repro.common.types import AccessType, MemoryRequest, request_unchecked
+from repro.crypto.fingerprints import SHA1Engine, TruncatedEngine
+from repro.dedup import make_scheme
+from repro.perf import memo
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import run_app
+from repro.vec import (
+    begin_run,
+    default_enabled,
+    end_run,
+    set_vectorized,
+    vectorized,
+    vectorized_enabled,
+)
+from repro.vec.epoch import (
+    DEFAULT_EPOCH_SIZE,
+    EpochPrecomputer,
+    VecStats,
+    iter_epochs,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.trace import read_trace_list, write_trace
+
+REQUESTS = 600
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    memo.reset_all()
+    yield
+    memo.reset_all()
+
+
+def _write(seq, content, address=0):
+    return MemoryRequest(address=address, access=AccessType.WRITE,
+                         data=content, issue_time_ns=float(seq), seq=seq)
+
+
+def _read(seq, address=0):
+    return MemoryRequest(address=address, access=AccessType.READ,
+                         issue_time_ns=float(seq), seq=seq)
+
+
+class TestIterEpochs:
+    def test_chunking_and_order(self):
+        requests = [_read(i, address=i * 64) for i in range(10)]
+        epochs = list(iter_epochs(requests, 4))
+        assert [len(e) for e in epochs] == [4, 4, 2]
+        assert [r.seq for epoch in epochs for r in epoch] == list(range(10))
+
+    def test_streaming_consumes_lazily(self):
+        consumed = []
+
+        def stream():
+            for i in range(10):
+                consumed.append(i)
+                yield _read(i, address=i * 64)
+
+        epochs = iter_epochs(stream(), 4)
+        assert consumed == []  # nothing drawn yet
+        next(epochs)
+        assert len(consumed) == 4  # exactly one epoch ahead
+
+    def test_exact_multiple(self):
+        requests = [_read(i, address=i * 64) for i in range(8)]
+        assert [len(e) for e in iter_epochs(requests, 4)] == [4, 4]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iter_epochs([], 0))
+
+    def test_engine_default_matches_module_constant(self):
+        assert DEFAULT_EPOCH_SIZE == 1024
+        assert EngineConfig().vec_epoch_size == DEFAULT_EPOCH_SIZE
+
+
+class TestVecStats:
+    def test_observe_epoch_tracks_extremes(self):
+        stats = VecStats()
+        for size in (1024, 1024, 640):
+            stats.observe_epoch(size)
+        assert stats.epochs == 3
+        assert stats.requests == 2688
+        assert stats.min_epoch_size == 640
+        assert stats.max_epoch_size == 1024
+
+    def test_kernel_occupancy(self):
+        stats = VecStats()
+        assert stats.kernel_occupancy == 0.0
+        stats.writes = 10
+        stats.covered_writes = 7
+        assert stats.kernel_occupancy == pytest.approx(0.7)
+
+    def test_snapshot_keys(self):
+        snap = VecStats().snapshot()
+        assert all(k.startswith("vec_") for k in snap)
+        assert "vec_epochs" in snap
+        assert "vec_kernel_occupancy" in snap
+        assert "vec_scalar_fallback_lines" in snap
+        assert all(isinstance(v, float) for v in snap.values())
+
+
+class TestEpochPrecomputer:
+    def _epoch(self, contents):
+        epoch = [_write(i, data, address=i * 64)
+                 for i, data in enumerate(contents)]
+        epoch.append(_read(len(epoch), address=0))
+        return epoch
+
+    def test_esd_priming_fills_line_ecc_cache(self):
+        scheme = make_scheme("ESD", small_test_config())
+        stats = VecStats()
+        precomp = EpochPrecomputer(scheme, stats)
+        rng = random.Random(31)
+        contents = [rng.randbytes(64) for _ in range(8)]
+        cache = memo.get_cache("line_ecc", 1 << 16)
+        precomp.precompute(self._epoch(contents + contents[:3]))
+        assert all(data in cache for data in contents)
+        assert stats.writes == 11
+        assert stats.unique_write_contents == 8  # duplicates deduped
+        assert stats.batched_ecc_lines == 8
+        assert stats.covered_writes == 11
+        assert stats.scalar_fallback_lines == 0
+
+    def test_already_cached_contents_not_recomputed(self):
+        scheme = make_scheme("ESD", small_test_config())
+        stats = VecStats()
+        precomp = EpochPrecomputer(scheme, stats)
+        contents = [random.Random(32).randbytes(64)]
+        precomp.precompute(self._epoch(contents))
+        precomp.precompute(self._epoch(contents))
+        assert stats.batched_ecc_lines == 1  # second epoch found it cached
+
+    def test_sha1_scheme_primes_fingerprint_cache(self):
+        scheme = make_scheme("Dedup_SHA1", small_test_config())
+        stats = VecStats()
+        precomp = EpochPrecomputer(scheme, stats)
+        rng = random.Random(33)
+        contents = [rng.randbytes(64) for _ in range(5)]
+        precomp.precompute(self._epoch(contents))
+        assert stats.batched_fp_lines >= 5
+        assert stats.covered_writes == 5
+
+    def test_baseline_falls_back_to_scalar(self):
+        scheme = make_scheme("Baseline", small_test_config())
+        stats = VecStats()
+        precomp = EpochPrecomputer(scheme, stats)
+        rng = random.Random(34)
+        contents = [rng.randbytes(64) for _ in range(4)]
+        precomp.precompute(self._epoch(contents))
+        assert stats.scalar_fallback_lines == 4
+        assert stats.covered_writes == 0
+
+    def test_dae_excluded_from_priming(self):
+        # DaE fingerprints ciphertext (pad-dependent), so there is nothing
+        # content-keyed to batch before resolution.
+        scheme = make_scheme("DaE", small_test_config())
+        assert scheme.vec_prime_engines() == ()
+
+    def test_memo_off_falls_back(self):
+        scheme = make_scheme("ESD", small_test_config())
+        stats = VecStats()
+        precomp = EpochPrecomputer(scheme, stats)
+        rng = random.Random(35)
+        contents = [rng.randbytes(64) for _ in range(4)]
+        previous = memo.ENABLED
+        memo.ENABLED = False
+        try:
+            precomp.precompute(self._epoch(contents))
+        finally:
+            memo.ENABLED = previous
+        assert stats.scalar_fallback_lines == 4
+        assert stats.batched_ecc_lines == 0
+
+    def test_read_only_epoch_counts_no_writes(self):
+        scheme = make_scheme("ESD", small_test_config())
+        stats = VecStats()
+        EpochPrecomputer(scheme, stats).precompute(
+            [_read(i, address=i * 64) for i in range(6)])
+        assert stats.epochs == 1
+        assert stats.requests == 6
+        assert stats.writes == 0
+
+
+class TestPrimeBatchEngines:
+    def test_sha1_prime_batch_serves_later_calls_from_cache(self):
+        engine = SHA1Engine()
+        rng = random.Random(36)
+        contents = [rng.randbytes(64) for _ in range(6)]
+        assert engine.prime_batch(contents) == 6
+        cache = memo.get_cache(f"fp_{engine.name}", 1 << 16)
+        hits_before = cache.hits
+        values = [engine.fingerprint(d) for d in contents]
+        assert cache.hits == hits_before + 6
+        with vectorized(False):
+            assert values == [engine.fingerprint(d) for d in contents]
+
+    def test_truncated_engine_delegates_to_inner(self):
+        engine = TruncatedEngine(SHA1Engine(), bits=128)
+        rng = random.Random(37)
+        contents = [rng.randbytes(64) for _ in range(3)]
+        assert engine.prime_batch(contents) == 3
+        assert engine.prime_batch(contents) == 0  # all cached now
+
+
+class TestEngineIntegration:
+    def _run(self, *, vec, system=None, engine=None, requests=REQUESTS):
+        system = replace(system or small_test_config(), use_vectorized=vec)
+        return run_app("gcc", ["ESD"], system=system, engine=engine,
+                       requests=requests)["ESD"]
+
+    def test_extras_exported_when_on(self):
+        result = self._run(vec=True)
+        assert result.extras["vectorized_enabled"] == 1.0
+        assert result.extras["vec_epochs"] == 1.0  # 600 < default epoch
+        assert result.extras["vec_requests"] == float(REQUESTS)
+        assert result.extras["vec_kernel_occupancy"] == 1.0
+        assert result.extras["vec_scalar_fallback_lines"] == 0.0
+
+    def test_extras_absent_when_off(self):
+        result = self._run(vec=False)
+        assert result.extras["vectorized_enabled"] == 0.0
+        assert not [k for k in result.extras if k.startswith("vec_")]
+
+    def test_epoch_size_shapes_stats_not_results(self):
+        small = self._run(vec=True,
+                          engine=EngineConfig(vec_epoch_size=128))
+        large = self._run(vec=True,
+                          engine=EngineConfig(vec_epoch_size=4096))
+        assert small.extras["vec_epochs"] == 5.0  # ceil(600 / 128)
+        assert large.extras["vec_epochs"] == 1.0
+        assert small.extras["vec_min_epoch_size"] == 88.0  # 600 - 4*128
+        assert small.summary_row() == large.summary_row()
+
+    def test_fallback_counted_with_fastpath_off(self):
+        system = replace(small_test_config(), use_fastpath=False)
+        result = self._run(vec=True, system=system)
+        assert result.extras["vec_kernel_occupancy"] == 0.0
+        assert result.extras["vec_scalar_fallback_lines"] == \
+            result.extras["vec_writes"]
+
+    def test_engine_config_rejects_bad_epoch_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(vec_epoch_size=0)
+
+    def test_run_restores_global_switch(self):
+        before = vectorized_enabled()
+        self._run(vec=not before, requests=50)
+        assert vectorized_enabled() is before
+
+    def test_obs_registry_carries_vec_metrics(self):
+        system = replace(
+            small_test_config(), use_vectorized=True,
+            observability=ObservabilityConfig(enabled=True,
+                                              trace_capacity=64,
+                                              sample_every=3))
+        result = run_app("gcc", ["ESD"], system=system,
+                         requests=REQUESTS)["ESD"]
+        rows = {row["name"]: row for row in result.obs["metrics"]}
+        assert rows["vec_epochs"]["type"] == "counter"
+        assert rows["vec_kernel_occupancy"]["type"] == "gauge"
+        assert rows["vec_epoch_size"]["type"] == "histogram"
+        assert rows["vec_epoch_size"]["count"] == \
+            result.extras["vec_epochs"]
+
+
+class TestControlSurface:
+    def test_begin_run_override_and_restore(self):
+        baseline = vectorized_enabled()
+        previous, active = begin_run(override=not baseline)
+        assert previous is baseline
+        assert active is (not baseline)
+        assert vectorized_enabled() is active
+        end_run(previous)
+        assert vectorized_enabled() is baseline
+
+    def test_begin_run_defers_to_default(self):
+        set_vectorized(not default_enabled())
+        try:
+            previous, active = begin_run(override=None)
+            assert active is default_enabled()
+            end_run(previous)
+        finally:
+            set_vectorized(default_enabled())
+
+
+class TestVectorizedTraceIO:
+    def _requests(self, count=800):
+        return TraceGenerator("gcc", seed=9).generate_list(count)
+
+    def test_roundtrip_byte_identical_both_modes(self):
+        requests = self._requests()
+        blobs = {}
+        for enabled in (False, True):
+            with vectorized(enabled):
+                buffer = io.BytesIO()
+                write_trace(requests, buffer)
+                blobs[enabled] = buffer.getvalue()
+                buffer.seek(0)
+                assert read_trace_list(buffer) == requests
+        assert blobs[False] == blobs[True]
+
+    def test_cross_mode_roundtrip(self):
+        requests = self._requests(200)
+        buffer = io.BytesIO()
+        with vectorized(False):
+            write_trace(requests, buffer)
+        buffer.seek(0)
+        with vectorized(True):
+            assert read_trace_list(buffer) == requests
+
+    def _blob(self, requests):
+        buffer = io.BytesIO()
+        write_trace(requests, buffer)
+        return buffer.getvalue()
+
+    def _error(self, payload):
+        outcomes = []
+        for enabled in (False, True):
+            with vectorized(enabled):
+                try:
+                    read_trace_list(io.BytesIO(payload))
+                    outcomes.append(None)
+                except Exception as exc:  # noqa: BLE001 - parity capture
+                    outcomes.append((type(exc), str(exc)))
+        return outcomes
+
+    def test_error_parity_truncated_payload(self):
+        blob = self._blob(self._requests(50))
+        ref, vec = self._error(blob[:-10])
+        assert ref == vec and ref is not None
+        assert "truncated" in ref[1]
+
+    def test_error_parity_unknown_kind(self):
+        blob = bytearray(self._blob(self._requests(50)))
+        blob[20] = 9  # first record's kind byte (header is 20 bytes)
+        ref, vec = self._error(bytes(blob))
+        assert ref == vec and ref is not None
+        assert "unknown record kind 9" in ref[1]
+
+    def test_error_parity_misaligned_address(self):
+        blob = bytearray(self._blob(self._requests(50)))
+        struct.pack_into("<Q", blob, 20 + 8, 65)  # unaligned address
+        ref, vec = self._error(bytes(blob))
+        assert ref == vec and ref is not None
+        assert ref[0] is ValueError
+
+    def test_empty_trace(self):
+        for enabled in (False, True):
+            with vectorized(enabled):
+                buffer = io.BytesIO()
+                assert write_trace([], buffer) == 0
+                buffer.seek(0)
+                assert read_trace_list(buffer) == []
+
+
+class TestRequestUnchecked:
+    def test_equals_validated_constructor(self):
+        data = bytes(range(64))
+        checked = MemoryRequest(address=128, access=AccessType.WRITE,
+                                data=data, issue_time_ns=5.0, core=1, seq=7)
+        trusted = request_unchecked(128, AccessType.WRITE, data, 5.0, 1, 7)
+        assert trusted == checked
+        assert trusted.is_write and trusted.line_index == 2
+
+    def test_read_request(self):
+        trusted = request_unchecked(0, AccessType.READ, None, 0.0, 0, 0)
+        assert trusted == MemoryRequest(address=0, access=AccessType.READ)
+
+
+class TestCliFlag:
+    @staticmethod
+    def _simulated(out):
+        # Keep only the simulated statistics: host-side accounting (memo
+        # cache traffic, vec epoch stats, the mode flags themselves)
+        # legitimately differs between modes and across warm caches.
+        return [line for line in out.splitlines()
+                if not any(tag in line
+                           for tag in ("memo_", "vec", "fastpath"))]
+
+    def test_no_vectorized_flag_matches_default(self, capsys):
+        argv = ["run", "--scheme", "ESD", "--app", "gcc",
+                "--requests", "400"]
+        assert main(argv) == 0
+        default_out = self._simulated(capsys.readouterr().out)
+        memo.reset_all()
+        assert main(argv + ["--no-vectorized"]) == 0
+        assert self._simulated(capsys.readouterr().out) == default_out
+        assert default_out  # the filter must leave the statistics table
