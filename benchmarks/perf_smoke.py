@@ -23,6 +23,14 @@ sections:
 * **kernels** — per-kernel memo on/off micro-benchmarks over a
   content-local working set (a small set of distinct lines cycled many
   times, the locality regime the memo caches are designed for).
+* **serve_throughput** — requests/sec streaming one trace through the
+  :mod:`repro.serve` loopback server vs the same trace run directly
+  (report-only; the serve parity hard gate is ``serve_smoke.py``).
+
+Besides overwriting the full report, each run appends one compact,
+timestamped, schema-versioned entry (headline medians plus the gate
+booleans) to the ``BENCH_history.json`` trajectory file, so performance
+across commits is a curve, not a single overwritten point.
 
 CPU seconds (``time.process_time``) are the primary metric; wall-clock is
 reported alongside but is noisy on shared machines, so CI gates only on
@@ -355,6 +363,116 @@ def bench_kernels(ops: int, repeats: int) -> Dict[str, Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Serve loopback throughput
+# ----------------------------------------------------------------------
+
+def bench_serve_throughput(requests: int) -> Dict:
+    """Requests/sec through the server loopback vs a direct ``run()``.
+
+    Streams one trace through an in-process :mod:`repro.serve` server
+    (NDJSON over TCP loopback, default batching/backpressure) and runs
+    the identical trace directly, reporting both rates and their ratio.
+    Report-only — the serving overhead (JSON codec, syscalls, queue
+    hops) is an accepted cost, not a regression gate; the hard parity
+    gate for the serve path lives in ``benchmarks/serve_smoke.py``.
+    The single-session loopback parity boolean rides along because it
+    is free to check here.
+    """
+    from repro.registry import make_scheme
+    from repro.serve import BackgroundServer, ServeClient
+    from repro.sim.engine import EngineConfig, SimulationEngine
+    from repro.sim.export import result_to_state
+
+    app, scheme_name = GRID_APPS[0], GRID_SCHEMES[-1]
+    trace = TraceGenerator(get_profile(app),
+                           seed=GRID_SEED).generate_list(requests)
+
+    wall0 = time.perf_counter()
+    engine = SimulationEngine(make_scheme(scheme_name,
+                                          scaled_system_config()),
+                              EngineConfig())
+    direct = engine.run(iter(trace), app=app, total_hint=len(trace))
+    direct_s = time.perf_counter() - wall0
+
+    with BackgroundServer() as server:
+        with ServeClient("127.0.0.1", server.port) as client:
+            wall0 = time.perf_counter()
+            payload = client.run_trace(iter(trace), scheme_name, app=app,
+                                       total_hint=len(trace))
+            serve_s = time.perf_counter() - wall0
+    return {
+        "app": app,
+        "scheme": scheme_name,
+        "requests": requests,
+        "direct_req_per_s": requests / direct_s if direct_s > 0 else 0.0,
+        "serve_req_per_s": requests / serve_s if serve_s > 0 else 0.0,
+        "serve_overhead_ratio": serve_s / direct_s if direct_s > 0 else 0.0,
+        "loopback_parity": payload["state"] == result_to_state(direct),
+        "drained_clean": bool(server.drained_clean),
+    }
+
+
+# ----------------------------------------------------------------------
+# Benchmark history trajectory
+# ----------------------------------------------------------------------
+
+#: Version of one BENCH_history.json entry's layout; bump on
+#: incompatible changes so trajectory consumers can filter.
+HISTORY_SCHEMA_VERSION = 1
+
+
+def history_entry(report: Dict) -> Dict:
+    """One compact trajectory point distilled from a full report.
+
+    The full report overwrites ``BENCH_perf_smoke.json`` every run; the
+    history file *appends*, so entries carry only the headline medians
+    and gate booleans — enough to plot the performance trajectory
+    across commits without the file growing by the full report each
+    time.
+    """
+    grid = report["grid"]
+    return {
+        "history_schema_version": HISTORY_SCHEMA_VERSION,
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": report["quick"],
+        "requests_per_app": grid["requests_per_app"],
+        "median_cpu_speedup": grid["median_cpu_speedup"],
+        "median_memo_cpu_speedup": grid["median_memo_cpu_speedup"],
+        "median_wall_speedup": grid["median_wall_speedup"],
+        "long_trace_median_cpu_speedup":
+            report["long_trace"]["median_cpu_speedup"],
+        "serve_req_per_s": report["serve_throughput"]["serve_req_per_s"],
+        "serve_overhead_ratio":
+            report["serve_throughput"]["serve_overhead_ratio"],
+        "grids_identical": grid["grids_identical"],
+        "roster_identical": report["roster_parity"]["identical"],
+        "loopback_parity":
+            report["serve_throughput"]["loopback_parity"],
+        "platform": report["platform"],
+        "python": report["python"],
+    }
+
+
+def append_history(report: Dict, path: Path) -> int:
+    """Append this run's entry to the trajectory file; returns its length.
+
+    The file is a JSON array.  A missing or unreadable file starts a
+    fresh trajectory rather than failing the benchmark.
+    """
+    entries: List[Dict] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                entries = loaded
+        except (OSError, ValueError):
+            entries = []
+    entries.append(history_entry(report))
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+# ----------------------------------------------------------------------
 # Observability metrics report
 # ----------------------------------------------------------------------
 
@@ -399,6 +517,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--metrics-report", type=Path, default=None,
                         help="also run one observed cell and write its "
                              "repro.obs metrics report here")
+    parser.add_argument("--history", type=Path, default=None,
+                        help="append a compact trajectory entry to this "
+                             "JSON-array file (default: BENCH_history.json "
+                             "next to --output; omit --output to skip)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trajectory append entirely")
     args = parser.parse_args(argv)
 
     requests = args.requests or (2000 if args.quick else 8000)
@@ -412,6 +536,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     roster = bench_roster_parity(roster_requests)
     long_trace = bench_long_trace(trace_records, max(rounds, 3))
     kernels = bench_kernels(kernel_ops, kernel_repeats)
+    serve = bench_serve_throughput(roster_requests)
 
     report = {
         "benchmark": "simulator-performance",
@@ -419,6 +544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "roster_parity": roster,
         "long_trace": long_trace,
         "kernels": kernels,
+        "serve_throughput": serve,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "quick": bool(args.quick),
@@ -429,6 +555,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    history_path = args.history
+    if history_path is None and args.output is not None:
+        history_path = args.output.parent / "BENCH_history.json"
+    if history_path is not None and not args.no_history:
+        length = append_history(report, history_path)
+        print(f"appended entry {length} to {history_path}")
     if args.metrics_report is not None:
         emit_metrics_report(requests, args.metrics_report)
         print(f"wrote {args.metrics_report}")
@@ -437,7 +569,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"identical={grid['grids_identical']}; "
           f"roster identical={roster['identical']}; "
           f"long-trace {long_trace['median_cpu_speedup']:.2f}x, "
-          f"identical={long_trace['roundtrip_identical']}", file=sys.stderr)
+          f"identical={long_trace['roundtrip_identical']}; "
+          f"serve {serve['serve_req_per_s']:.0f} req/s "
+          f"({serve['serve_overhead_ratio']:.2f}x direct), "
+          f"parity={serve['loopback_parity']}", file=sys.stderr)
     failed = False
     if not grid["grids_identical"]:
         print("FAIL: a fast-path grid diverges from the reference grid",

@@ -304,6 +304,28 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the dedup-as-a-service front end until SIGTERM/SIGINT."""
+    from .serve import ServeConfig, run_server
+
+    serve_config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_sessions=args.max_sessions, queue_limit=args.queue_limit,
+        retry_after_ms=args.retry_after_ms,
+        drain_grace_s=args.drain_grace)
+
+    def _announce(server) -> None:
+        # Machine-parsed by tests/CI to discover an ephemeral port —
+        # keep the format stable.
+        print(f"serving on {args.host}:{server.port}", flush=True)
+
+    code = run_server(serve_config, EngineConfig(),
+                      _system_config(args), announce=_announce)
+    print("drained clean" if code == 0 else "drain aborted stragglers",
+          flush=True)
+    return code
+
+
 def cmd_validate(args) -> int:
     """Run the reproduction self-check; exit non-zero on failed claims."""
     from .analysis.validation import render_validation, validate
@@ -418,6 +440,32 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("json", "csv"),
                           help="report format (default: json)")
     report_p.set_defaults(func=cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the dedup-as-a-service ingestion front end")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="bind port; 0 picks an ephemeral port and "
+                              "prints it (default: 0)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="engine worker threads (default: 2)")
+    serve_p.add_argument("--max-sessions", type=int, default=8,
+                         help="concurrent session cap (default: 8)")
+    serve_p.add_argument("--queue-limit", type=int, default=8192,
+                         help="per-session ingest queue bound in requests "
+                              "(default: 8192)")
+    serve_p.add_argument("--retry-after-ms", type=int, default=25,
+                         help="suggested client backoff on backpressure "
+                              "(default: 25)")
+    serve_p.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to wait for in-flight sessions on "
+                              "SIGTERM before aborting them (default: 30)")
+    serve_p.add_argument("--no-fastpath", action="store_true",
+                         help="disable the memoized kernel fast path")
+    serve_p.add_argument("--no-vectorized", action="store_true",
+                         help="disable the epoch-batched vectorized engine")
+    serve_p.set_defaults(func=cmd_serve)
 
     val_p = sub.add_parser("validate",
                            help="self-check the paper's headline claims")

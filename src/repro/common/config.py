@@ -23,7 +23,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional
 
 from .errors import ConfigError
 from .types import CACHE_LINE_SIZE
@@ -296,6 +296,47 @@ class SystemConfig:
         """
         return replace(
             self, observability=replace(self.observability, **kwargs))
+
+    def with_options(self, options: "Mapping[str, object]") -> "SystemConfig":
+        """Return a copy with dotted-path field overrides applied.
+
+        ``cfg.with_options({"seed": 7, "esd.decay_period": 1024,
+        "metadata_cache.efit_bytes": 16384})`` — each key names a
+        (possibly nested) dataclass field, and values come straight from
+        a JSON document, so this is the serving layer's per-tenant
+        configuration surface (:mod:`repro.serve`).  Overrides are
+        applied in sorted key order, and the nested dataclasses'
+        ``__post_init__`` validation re-runs on every rebuilt level.
+
+        Raises:
+            ConfigError: when a path names no field or descends into a
+                non-dataclass value.
+        """
+        config: "SystemConfig" = self
+        for key in sorted(options):
+            config = _replace_path(config, key, key.split("."),
+                                   options[key])
+        return config
+
+
+def _replace_path(obj, path: str, parts, value):
+    """Rebuild ``obj`` with the field at dotted ``path`` set to ``value``."""
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise ConfigError(
+            f"config option {path!r}: {type(obj).__name__} has no "
+            f"sub-fields to descend into")
+    name = parts[0]
+    if name not in {f.name for f in dataclasses.fields(obj)}:
+        raise ConfigError(
+            f"config option {path!r}: {type(obj).__name__} has no field "
+            f"{name!r}")
+    if len(parts) == 1:
+        try:
+            return replace(obj, **{name: value})
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"config option {path!r}: {exc}") from exc
+    nested = _replace_path(getattr(obj, name), path, parts[1:], value)
+    return replace(obj, **{name: nested})
 
 
 def _canonical(obj):

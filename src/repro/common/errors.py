@@ -71,6 +71,29 @@ class SweepError(ReproError):
     """
 
 
+class SessionError(SimulationError):
+    """An incremental simulation session was used after it ended.
+
+    Raised by :class:`repro.sim.session.Session` when ``feed`` or
+    ``finalize`` is called on a session that was already finalized,
+    closed, or failed mid-feed.
+    """
+
+
+class ServeError(ReproError):
+    """The dedup-as-a-service layer (:mod:`repro.serve`) failed.
+
+    Covers protocol violations, rejected admissions, and client-side
+    failures such as the server closing the connection mid-session.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        #: Machine-readable error code (mirrors the wire protocol's
+        #: ``error`` field; see :mod:`repro.serve.protocol`).
+        self.code = code
+
+
 class IntegrityError(SimulationError):
     """Read-back verification observed data different from what was written.
 

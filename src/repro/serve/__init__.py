@@ -1,0 +1,34 @@
+"""Dedup-as-a-service: the asyncio ingestion front end (DESIGN.md §11).
+
+Wraps the simulator in a long-running service: many clients stream
+cache-line write/read traces over newline-delimited JSON into
+concurrent sessions, each with its own tenant-resolved scheme and
+system configuration, multiplexed onto shared engine workers with
+bounded ingest queues and explicit backpressure.  Stdlib only; the
+simulation core never imports this package.
+
+Layers (one module each):
+
+* :mod:`~repro.serve.protocol` — the NDJSON wire protocol.
+* :mod:`~repro.serve.session_mgr` — session lifecycle, tenancy,
+  micro-batching onto the engine's incremental session API.
+* :mod:`~repro.serve.server` — the asyncio server, drain-on-signal,
+  and the in-process :class:`BackgroundServer` harness.
+* :mod:`~repro.serve.client` — the sync/async client SDK.
+* :mod:`~repro.serve.obs` — service metrics on the repro.obs registry.
+"""
+
+from .client import AsyncServeClient, ServeClient
+from .config import ServeConfig
+from .protocol import PROTOCOL_VERSION
+from .server import BackgroundServer, DedupServer, run_server
+
+__all__ = [
+    "AsyncServeClient",
+    "BackgroundServer",
+    "DedupServer",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeConfig",
+    "run_server",
+]

@@ -1,0 +1,52 @@
+"""Configuration of the serving front end (:mod:`repro.serve`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`~repro.serve.server.DedupServer` instance."""
+
+    #: Bind address.  Loopback by default — the service speaks plaintext
+    #: NDJSON and trusts its network.
+    host: str = "127.0.0.1"
+    #: Bind port; 0 asks the OS for an ephemeral port (the bound port is
+    #: reported by ``DedupServer.port`` and printed by ``repro serve``).
+    port: int = 0
+    #: Engine worker threads.  Engine work is serialized by the engine
+    #: lock (the fast-path/vec switches are process-global, and the GIL
+    #: serializes the pure-Python simulation anyway); extra workers buy
+    #: queue-drain fairness between sessions, not CPU parallelism.
+    workers: int = 2
+    #: Maximum concurrently open sessions; further ``hello``s are
+    #: rejected with ``session_limit``.
+    max_sessions: int = 8
+    #: Per-session ingest queue bound, in requests.  A ``batch`` that
+    #: does not fit entirely is rejected with ``backpressure`` and
+    #: nothing from it is enqueued.
+    queue_limit: int = 8192
+    #: Suggested client delay before resending a rejected batch.
+    retry_after_ms: int = 25
+    #: Grace period for in-flight sessions after SIGTERM/SIGINT before
+    #: connections are closed forcibly.
+    drain_grace_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError("port must be in [0, 65535]")
+        if self.workers <= 0:
+            raise ConfigError("workers must be positive")
+        if self.max_sessions <= 0:
+            raise ConfigError("max_sessions must be positive")
+        if self.queue_limit <= 0:
+            raise ConfigError("queue_limit must be positive")
+        if self.retry_after_ms < 0:
+            raise ConfigError("retry_after_ms must be non-negative")
+        if self.drain_grace_s < 0:
+            raise ConfigError("drain_grace_s must be non-negative")

@@ -1,0 +1,72 @@
+"""Server-side observability (:mod:`repro.obs` registry wiring).
+
+The serving layer keeps its own process-lifetime
+:class:`~repro.obs.metrics.MetricsRegistry`, separate from the per-run
+registries the engine opens inside each session: server metrics describe
+the *service* (admission, queueing, batching, tenancy) and outlive any
+single simulation.  The ``metrics`` wire verb snapshots this registry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ServeMetrics"]
+
+#: Bucket bounds for admission latency (seconds converted to ns): spans
+#: sub-microsecond enqueues through multi-millisecond stalls under load.
+_ADMISSION_BOUNDS_NS = (
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+#: Bucket bounds for micro-batch occupancy (requests per engine feed);
+#: powers of two up to the default vec epoch size and beyond.
+_OCCUPANCY_BOUNDS = tuple(float(1 << i) for i in range(15))
+
+
+class ServeMetrics:
+    """Instruments of one server instance.
+
+    Gauges track the instantaneous state (active sessions, per-tenant
+    queue depth), counters the cumulative work (requests admitted or
+    rejected per tenant, batches fed), histograms the distributions the
+    ISSUE cares about: admission latency (receive → enqueued) and
+    engine-feed batch occupancy (micro-batching effectiveness).
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.active_sessions = self.registry.gauge("serve_active_sessions")
+        self.sessions_opened = self.registry.counter("serve_sessions_opened")
+        self.sessions_finalized = self.registry.counter(
+            "serve_sessions_finalized")
+        self.admission_latency = self.registry.histogram(
+            "serve_admission_latency_ns", _ADMISSION_BOUNDS_NS)
+        self.batch_occupancy = self.registry.histogram(
+            "serve_batch_occupancy", _OCCUPANCY_BOUNDS)
+
+    def queue_depth(self, tenant: str):
+        """Per-tenant queued-request gauge."""
+        return self.registry.gauge("serve_queue_depth", tenant=tenant)
+
+    def requests_total(self, tenant: str):
+        """Per-tenant admitted-request counter."""
+        return self.registry.counter("serve_requests_total", tenant=tenant)
+
+    def rejected_total(self, tenant: str):
+        """Per-tenant backpressure-rejection counter."""
+        return self.registry.counter("serve_rejected_total", tenant=tenant)
+
+    def observe_admission(self, started_s: float, tenant: str,
+                          accepted: int) -> None:
+        """Record one accepted batch: latency + per-tenant volume."""
+        self.admission_latency.observe((time.monotonic() - started_s) * 1e9)
+        self.requests_total(tenant).inc(accepted)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``metrics`` verb's payload: rows plus the flat view."""
+        return {"metrics": self.registry.snapshot(),
+                "flat": self.registry.as_flat()}

@@ -1,0 +1,214 @@
+"""Wire protocol of the dedup-as-a-service front end.
+
+Newline-delimited JSON over a byte stream: every message is one JSON
+object on one line (LF-terminated, UTF-8).  The framing needs nothing
+beyond the stdlib, works over asyncio streams and plain sockets alike,
+and keeps the protocol greppable on the wire.
+
+Client → server messages carry a ``verb``:
+
+``hello``
+    Open a session.  Fields: ``scheme`` (any token
+    :func:`repro.registry.resolve_scheme_name` accepts), optional
+    ``tenant`` label, ``app``, ``total_hint``, and ``options`` — a flat
+    dotted-path mapping applied to the base system configuration via
+    :meth:`~repro.common.config.SystemConfig.with_options` (the
+    per-tenant configuration surface).  Reply: ``{"ok": true, "session":
+    id, "protocol": 1, "credits": n, "batch_hint": m}``.
+``batch``
+    Feed requests.  ``requests`` is a list of compact positional arrays
+    (see :func:`encode_request`).  Reply: an ack with the remaining
+    queue ``credits``, or a backpressure rejection ``{"ok": false,
+    "error": "backpressure", "retry_after_ms": m}`` — nothing from the
+    rejected batch is enqueued; the client waits and resends.
+``finalize``
+    Drain the session's queue, finalize the engine session, reply with
+    ``{"ok": true, "summary": {...}, "state": {...}}`` where ``state``
+    is the lossless :func:`repro.sim.export.result_to_state` snapshot
+    (the loopback parity gate reconstructs the full result from it).
+``metrics``
+    Snapshot of the server's obs registry (rows + flat view).
+``schemes``
+    Registered scheme names, for discovery.
+``ping``
+    Liveness check; replies ``{"ok": true}``.
+
+Every reply carries ``"ok"``; failures add ``"error"`` (a machine code
+from :data:`ERROR_CODES`) and a human ``"detail"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..common.errors import ServeError
+from ..common.types import AccessType, MemoryRequest, request_unchecked
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_message",
+    "decode_request",
+    "decode_requests",
+    "encode_message",
+    "encode_request",
+    "error_reply",
+    "ok_reply",
+]
+
+#: Bumped on incompatible wire changes; ``hello`` replies carry it.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON line.  The dominant message is a ``batch``
+#: of compact request arrays (~150 bytes each hex-encoded); 8 MiB admits
+#: tens of thousands of requests per batch while bounding a hostile or
+#: corrupt peer's memory demand.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Machine-readable error codes a reply's ``error`` field may carry.
+ERROR_CODES = (
+    "backpressure",      # session ingest queue full; retry after delay
+    "bad_request",       # malformed message or request array
+    "protocol",          # framing violation (overlong/non-JSON line)
+    "unknown_scheme",    # hello named an unregistered scheme
+    "unknown_session",   # verb referenced a session this server lacks
+    "session_limit",     # max concurrent sessions reached
+    "shutting_down",     # server is draining; no new sessions
+    "failed",            # engine-side failure (e.g. IntegrityError)
+    "internal",          # unexpected server error
+)
+
+_KIND_TO_ACCESS = {"W": AccessType.WRITE, "R": AccessType.READ}
+_ACCESS_TO_KIND = {AccessType.WRITE: "W", AccessType.READ: "R"}
+
+
+def encode_request(request: MemoryRequest) -> List[Any]:
+    """Compact positional form of one request.
+
+    ``[kind, address, issue_ns, core, seq, data]`` with ``kind`` one of
+    ``"W"``/``"R"`` and ``data`` the 64-byte payload hex-encoded (writes)
+    or ``None`` (reads).  Positional arrays rather than objects because a
+    trace is millions of these: the keys would dominate the wire.
+    """
+    return [_ACCESS_TO_KIND[request.access], request.address,
+            request.issue_time_ns, request.core, request.seq,
+            request.data.hex() if request.data is not None else None]
+
+
+def decode_request(wire: Sequence[Any]) -> MemoryRequest:
+    """Validate and rebuild one request from its wire array.
+
+    Uses the validating :class:`MemoryRequest` constructor — the server
+    must not trust the peer's framing (alignment, payload length, read
+    vs write invariants all re-checked).
+
+    Raises:
+        ServeError: (code ``bad_request``) on any malformed array.
+    """
+    try:
+        kind, address, issue_ns, core, seq, data_hex = wire
+        access = _KIND_TO_ACCESS[kind]
+        data = bytes.fromhex(data_hex) if data_hex is not None else None
+        return MemoryRequest(address=address, access=access, data=data,
+                             issue_time_ns=float(issue_ns), core=int(core),
+                             seq=int(seq))
+    except ServeError:
+        raise
+    except Exception as exc:
+        raise ServeError(f"malformed request array: {exc}",
+                         code="bad_request") from exc
+
+
+def decode_requests(wire: Sequence[Sequence[Any]]) -> List[MemoryRequest]:
+    """Decode a batch of wire arrays (see :func:`decode_request`)."""
+    return [decode_request(item) for item in wire]
+
+
+def encode_requests(requests: Sequence[MemoryRequest]) -> List[List[Any]]:
+    """Encode a batch of requests (client side)."""
+    return [encode_request(request) for request in requests]
+
+
+def trusted_decode_requests(
+        wire: Sequence[Sequence[Any]]) -> List[MemoryRequest]:
+    """Decode a batch skipping per-object validation.
+
+    For loopback/bench use where the producer is this process's own
+    :func:`encode_requests`; uses :func:`request_unchecked`.
+    """
+    out: List[MemoryRequest] = []
+    append = out.append
+    for kind, address, issue_ns, core, seq, data_hex in wire:
+        append(request_unchecked(
+            address, _KIND_TO_ACCESS[kind],
+            bytes.fromhex(data_hex) if data_hex is not None else None,
+            float(issue_ns), core, seq))
+    return out
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One NDJSON frame: compact JSON + LF."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received frame.
+
+    Raises:
+        ServeError: (code ``protocol``) when the line is not a JSON
+            object.
+    """
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ServeError(f"frame is not valid JSON: {exc}",
+                         code="protocol") from exc
+    if not isinstance(message, dict):
+        raise ServeError("frame must be a JSON object",
+                         code="protocol")
+    return message
+
+
+def ok_reply(**fields: Any) -> Dict[str, Any]:
+    """A success reply with extra fields."""
+    reply: Dict[str, Any] = {"ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(code: str, detail: str,
+                **fields: Any) -> Dict[str, Any]:
+    """A failure reply; ``code`` must come from :data:`ERROR_CODES`."""
+    assert code in ERROR_CODES, code
+    reply: Dict[str, Any] = {"ok": False, "error": code, "detail": detail}
+    reply.update(fields)
+    return reply
+
+
+class WireReader:
+    """Incremental NDJSON splitter for blocking (socket-file) readers.
+
+    The asyncio path uses ``StreamReader.readline`` directly; the sync
+    client shares this helper to enforce the same :data:`MAX_LINE_BYTES`
+    bound.
+    """
+
+    def __init__(self, fh: Any) -> None:
+        self._fh = fh
+
+    def read_message(self) -> Optional[Dict[str, Any]]:
+        """Next message, or ``None`` at EOF.
+
+        Raises:
+            ServeError: (code ``protocol``) on an overlong or non-JSON
+                line.
+        """
+        line = self._fh.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return None
+        if len(line) > MAX_LINE_BYTES:
+            raise ServeError(
+                f"frame exceeds {MAX_LINE_BYTES} bytes", code="protocol")
+        return decode_message(line)

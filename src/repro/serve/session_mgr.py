@@ -1,0 +1,305 @@
+"""Serve-side session lifecycle: tenancy, queues, micro-batching.
+
+One :class:`ServeSession` pairs a network-facing ingest queue with one
+engine :class:`~repro.sim.session.Session`.  The connection handler
+(:mod:`repro.serve.server`) admits decoded request batches into the
+queue (or rejects them with backpressure when they do not fit); a
+per-session drain task pulls queued requests in vec-epoch-sized
+micro-batches and feeds the engine session on a worker thread.
+
+Engine work is serialized across sessions by the server's *engine lock*:
+the fast-path/vectorized/observability switches the engine session
+installs around each ``feed`` are process-global
+(:mod:`repro.sim.session`), so two sessions must never be inside
+``feed`` concurrently.  The lock also covers session open and finalize
+(open resets the process-global memo caches).  Concurrency between
+sessions is therefore *interleaving*, not parallelism — which matches
+the engine's CPU profile (pure-Python, GIL-bound) while letting every
+tenant make progress.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigError, ReproError, ServeError
+from ..common.types import MemoryRequest
+from ..registry import make_scheme, resolve_scheme_name
+from ..sim.engine import EngineConfig, SimulationEngine
+from ..sim.export import result_to_state
+from ..sim.runner import scaled_system_config
+from ..sim.session import Session
+from .config import ServeConfig
+from .obs import ServeMetrics
+
+__all__ = ["ServeSession", "SessionManager"]
+
+
+class ServeSession:
+    """One tenant's in-flight simulation on the server.
+
+    States: ``open`` (accepting batches) → ``finalizing`` (queue
+    draining, no new batches) → ``done`` | ``failed``.
+    """
+
+    def __init__(self, sid: str, tenant: str, session: Session,
+                 manager: "SessionManager") -> None:
+        self.sid = sid
+        self.tenant = tenant
+        self.session = session
+        self.state = "open"
+        self._manager = manager
+        self._pending: Deque[MemoryRequest] = deque()
+        self._wakeup = asyncio.Event()
+        self._error: Optional[ServeError] = None
+        self._finalize_requested = False
+        loop = asyncio.get_running_loop()
+        self._result: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._queue_gauge = manager.metrics.queue_depth(tenant)
+        self._drain_task = loop.create_task(self._drain_loop())
+
+    # -- admission (event-loop side) -----------------------------------
+
+    @property
+    def credits(self) -> int:
+        """Free slots in the ingest queue."""
+        return self._manager.config.queue_limit - len(self._pending)
+
+    def admit(self, requests: List[MemoryRequest]) -> int:
+        """Enqueue a whole batch or reject it; returns remaining credits.
+
+        All-or-nothing: a batch larger than the remaining credits raises
+        ``backpressure`` and enqueues nothing, so the client can resend
+        the identical batch after the advertised delay.
+
+        Raises:
+            ServeError: ``backpressure`` when the batch does not fit;
+                the session's own error when it already failed;
+                ``bad_request`` when the session is past ``open``.
+        """
+        if self._error is not None:
+            raise self._error
+        if self.state != "open":
+            raise ServeError(
+                f"session {self.sid} is {self.state}, not accepting "
+                f"batches", code="bad_request")
+        limit = self._manager.config.queue_limit
+        if len(requests) > limit:
+            # Would never fit an empty queue either — backpressure would
+            # have the client retrying forever.
+            raise ServeError(
+                f"batch of {len(requests)} exceeds the queue limit "
+                f"({limit}); split it", code="bad_request")
+        if len(requests) > self.credits:
+            raise ServeError(
+                f"ingest queue full ({len(self._pending)}/{limit} queued)",
+                code="backpressure")
+        self._pending.extend(requests)
+        self._queue_gauge.set(float(len(self._pending)))
+        self._wakeup.set()
+        return self.credits
+
+    def request_finalize(self) -> "asyncio.Future[Dict[str, Any]]":
+        """Begin drain+finalize; returns the future of the reply payload."""
+        if self._error is not None:
+            raise self._error
+        if self.state == "open":
+            self.state = "finalizing"
+            self._finalize_requested = True
+            self._wakeup.set()
+        return self._result
+
+    async def abort(self) -> None:
+        """Drop the session (connection lost before finalize)."""
+        if self.state in ("open", "finalizing"):
+            self.state = "failed"
+        self._drain_task.cancel()
+        try:
+            await self._drain_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self.session.close()
+        if not self._result.done():
+            self._result.cancel()
+
+    # -- drain (event-loop task; engine work on executor threads) ------
+
+    async def _drain_loop(self) -> None:
+        manager = self._manager
+        batch_hint = manager.batch_hint
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                while not self._pending and not self._finalize_requested:
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                if self._pending:
+                    # Micro-batch: everything queued, capped at one vec
+                    # epoch, so the engine session's epoch former stays
+                    # busy without one tenant monopolizing a worker.
+                    take = min(len(self._pending), batch_hint)
+                    batch = [self._pending.popleft() for _ in range(take)]
+                    self._queue_gauge.set(float(len(self._pending)))
+                    manager.metrics.batch_occupancy.observe(float(take))
+                    await loop.run_in_executor(
+                        manager.executor, manager.feed_locked,
+                        self.session, batch)
+                else:
+                    payload = await loop.run_in_executor(
+                        manager.executor, manager.finalize_locked,
+                        self.session)
+                    self.state = "done"
+                    manager.metrics.sessions_finalized.inc()
+                    if not self._result.done():
+                        self._result.set_result(payload)
+                    return
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            self.state = "failed"
+            self._error = ServeError(
+                f"session {self.sid} failed: {exc}", code="failed")
+            if not self._result.done():
+                self._result.set_exception(self._error)
+        except Exception as exc:  # pragma: no cover - defensive
+            self.state = "failed"
+            self._error = ServeError(
+                f"session {self.sid} internal error: {exc}", code="internal")
+            if not self._result.done():
+                self._result.set_exception(self._error)
+        finally:
+            self._queue_gauge.set(0.0)
+            manager.release(self)
+
+
+class SessionManager:
+    """Owns the session table, the worker pool, and the engine lock."""
+
+    def __init__(self, config: ServeConfig,
+                 engine_config: Optional[EngineConfig] = None,
+                 base_config: Optional[SystemConfig] = None) -> None:
+        self.config = config
+        self.engine_config = engine_config or EngineConfig()
+        #: Base system configuration each tenant's options are applied to
+        #: (the CLI grid's scaled config, so loopback rows match ``run``).
+        self.base_config = base_config or scaled_system_config()
+        self.metrics = ServeMetrics()
+        self.executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-serve")
+        #: Serializes all engine work — see the module docstring.
+        self.engine_lock = threading.Lock()
+        self.batch_hint = self.engine_config.vec_epoch_size
+        self.sessions: Dict[str, ServeSession] = {}
+        self.draining = False
+        self._ids = itertools.count(1)
+        #: Set whenever the session table empties (drain coordination).
+        self.idle = asyncio.Event()
+        self.idle.set()
+
+    # -- engine work (executor threads) --------------------------------
+
+    def open_locked(self, scheme_name: str, system_config: SystemConfig,
+                    app: str, total_hint: Optional[int]) -> Session:
+        with self.engine_lock:
+            scheme = make_scheme(scheme_name, system_config)
+            engine = SimulationEngine(scheme, self.engine_config)
+            return engine.open_session(app=app, total_hint=total_hint)
+
+    def feed_locked(self, session: Session,
+                    batch: List[MemoryRequest]) -> None:
+        with self.engine_lock:
+            session.feed(batch)
+
+    def finalize_locked(self, session: Session) -> Dict[str, Any]:
+        with self.engine_lock:
+            result = session.finalize()
+        return {"summary": result.summary_row(),
+                "state": result_to_state(result)}
+
+    # -- session table (event-loop side) -------------------------------
+
+    async def open(self, message: Dict[str, Any]) -> Tuple[ServeSession, int]:
+        """Open a session from a ``hello``; returns it plus its credits.
+
+        Raises:
+            ServeError: ``shutting_down`` during drain, ``session_limit``
+                at capacity, ``unknown_scheme`` / ``bad_request`` on a
+                bad scheme token or tenant options.
+        """
+        if self.draining:
+            raise ServeError("server is draining; no new sessions",
+                             code="shutting_down")
+        if len(self.sessions) >= self.config.max_sessions:
+            raise ServeError(
+                f"session limit ({self.config.max_sessions}) reached",
+                code="session_limit")
+        try:
+            scheme_name = resolve_scheme_name(str(message.get("scheme", "")))
+        except ValueError as exc:
+            raise ServeError(str(exc), code="unknown_scheme") from exc
+        options = message.get("options") or {}
+        if not isinstance(options, dict):
+            raise ServeError("options must be an object",
+                             code="bad_request")
+        try:
+            system_config = self.base_config.with_options(options)
+        except ConfigError as exc:
+            raise ServeError(f"bad tenant options: {exc}",
+                             code="bad_request") from exc
+        tenant = str(message.get("tenant", "default"))
+        app = str(message.get("app", "served"))
+        total_hint = message.get("total_hint")
+        if total_hint is not None:
+            total_hint = int(total_hint)
+
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(
+            self.executor, self.open_locked, scheme_name, system_config,
+            app, total_hint)
+        sid = f"s{next(self._ids)}"
+        serve_session = ServeSession(sid, tenant, session, self)
+        self.sessions[sid] = serve_session
+        self.idle.clear()
+        self.metrics.sessions_opened.inc()
+        self.metrics.active_sessions.set(float(len(self.sessions)))
+        return serve_session, serve_session.credits
+
+    def get(self, sid: Any) -> ServeSession:
+        session = self.sessions.get(sid) if isinstance(sid, str) else None
+        if session is None:
+            raise ServeError(f"unknown session {sid!r}",
+                             code="unknown_session")
+        return session
+
+    def release(self, session: ServeSession) -> None:
+        """Drop a finished session from the table (drain-task callback)."""
+        if self.sessions.pop(session.sid, None) is not None:
+            self.metrics.active_sessions.set(float(len(self.sessions)))
+        if not self.sessions:
+            self.idle.set()
+
+    async def drain(self, grace_s: float) -> bool:
+        """Stop admitting sessions; wait for the table to empty.
+
+        Returns True when every in-flight session finished within the
+        grace period, False when stragglers had to be aborted.
+        """
+        self.draining = True
+        if not self.sessions:
+            return True
+        try:
+            await asyncio.wait_for(self.idle.wait(), timeout=grace_s)
+            return True
+        except asyncio.TimeoutError:
+            for session in list(self.sessions.values()):
+                await session.abort()
+            return False
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=True)

@@ -18,33 +18,27 @@ The engine also maintains the shadow copy used for continuous integrity
 verification (reads must return the bytes most recently written to that
 logical address — the invariant deduplication must never break) and drives
 the :class:`~repro.cache.cpu.CoreTimingModel` for IPC.
+
+The request loops themselves live in :mod:`repro.sim.session`:
+:meth:`SimulationEngine.run` is the one-shot convenience built on the
+incremental :class:`~repro.sim.session.Session` API
+(``open_session`` / ``feed`` / ``finalize``), which the serving layer
+(:mod:`repro.serve`) uses to interleave many trace sources on shared
+workers.  The two are bit-identical by construction and by test
+(``tests/test_serve_session_parity.py``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
-from ..cache.cpu import CoreTimingModel
 from ..common.config import SystemConfig
-from ..common.errors import IntegrityError
-from ..common.stats import LatencyRecorder
-from ..common.types import AccessType, MemoryRequest
+from ..common.types import MemoryRequest
 from ..dedup.base import DedupScheme
-from ..obs import runtime as _obs_runtime
-from ..obs.export import build_report
-from ..obs.harvest import harvest_run
-from ..perf import begin_run as _fastpath_begin
-from ..perf import end_run as _fastpath_end
-from ..vec import begin_run as _vec_begin
-from ..vec import end_run as _vec_end
-from ..vec.epoch import DEFAULT_EPOCH_SIZE, EpochPrecomputer, VecStats, iter_epochs
-from .metrics import SimulationResult, collect_extras
-
-#: Power-of-two bucket bounds for the vec engine's epoch-size histogram
-#: (epochs are ``vec_epoch_size`` except a possibly-short tail).
-_EPOCH_SIZE_BOUNDS = tuple(float(1 << i) for i in range(21))
+from ..vec.epoch import DEFAULT_EPOCH_SIZE, VecStats
+from .metrics import SimulationResult
+from .session import Session
 
 
 @dataclass(frozen=True)
@@ -82,14 +76,40 @@ class SimulationEngine:
         self.config: SystemConfig = scheme.config
         self.engine_config = engine_config or EngineConfig()
         self._shadow: Dict[int, bytes] = {}
-        #: Per-run epoch accounting, set by :meth:`run` when the vectorized
-        #: loop is selected (None otherwise).
+        #: Per-run epoch accounting, set at session open when the
+        #: vectorized loop is selected (None otherwise).
         self._vec_stats: Optional[VecStats] = None
+
+    def open_session(self, *, app: str = "unknown",
+                     total_hint: Optional[int] = None,
+                     instructions_per_access: int = 200) -> Session:
+        """Open an incremental simulation session on this engine.
+
+        The session owns the run's recorders, core-timing model, and
+        fast-path/vectorized/observability scope; feed it request chunks
+        of any size and :meth:`~repro.sim.session.Session.finalize` it to
+        obtain the same :class:`SimulationResult` :meth:`run` returns.
+        Sessions on one engine share the integrity-shadow map and the
+        scheme's functional state, so run them strictly one at a time
+        per engine.
+
+        Args:
+            app: application label for the result.
+            total_hint: expected stream length, used to place the warm-up
+                boundary without materializing the stream.
+            instructions_per_access: non-memory instructions retired per
+                request, for the IPC model.
+        """
+        return Session(self, app=app, total_hint=total_hint,
+                       instructions_per_access=instructions_per_access)
 
     def run(self, requests: Iterable[MemoryRequest], *,
             app: str = "unknown", total_hint: Optional[int] = None,
             instructions_per_access: int = 200) -> SimulationResult:
         """Process the stream; returns the collected result.
+
+        One-shot wrapper over the session API: opens a session, feeds the
+        whole stream as a single chunk, finalizes.
 
         Args:
             requests: the request stream (consumed once).
@@ -104,373 +124,8 @@ class SimulationEngine:
                 a read returns bytes differing from the last write to that
                 address.
         """
-        ec = self.engine_config
-        scheme = self.scheme
-        verify = self.config.verify_integrity
-        write_rec = LatencyRecorder(ec.max_latency_samples)
-        read_rec = LatencyRecorder(ec.max_latency_samples)
-        core = CoreTimingModel(config=self.config.processor)
-        window: deque = deque()
-
-        warmup_after = 0
-        if total_hint:
-            warmup_after = int(total_hint * ec.warmup_fraction)
-
-        dedup_at_warmup = scheme.counters.get("dedup_hits")
-
-        # Kernel fast path (repro.perf): resolve this run's switch from the
-        # config (None defers to REPRO_FASTPATH), then reset the memo caches
-        # so every run starts cold — cache statistics become a deterministic
-        # function of (trace, scheme, config), independent of whether the
-        # cell runs serially or on a sweep worker.
-        fast_prev, fast_on = _fastpath_begin(self.config.use_fastpath)
-        # Epoch-batched engine (repro.vec): resolved the same way (config
-        # override wins, None defers to REPRO_VECTORIZED).  The vectorized
-        # loop replaces the per-request loop wholesale; its per-line
-        # arithmetic is byte-for-byte the fast loop's, so it composes with
-        # either fast-path setting.
-        vec_prev, vec_on = _vec_begin(self.config.use_vectorized)
-        vec_stats = VecStats() if vec_on else None
-        self._vec_stats = vec_stats
-        # Observability scope (repro.obs): opened after the fast-path
-        # switch so hook sites observe a fully configured run; with the
-        # default disabled config, RUN stays None and every hook site
-        # short-circuits on one is-None test.
-        obs_prev = _obs_runtime.begin_run(self.config.observability)
-        if vec_on:
-            loop = self._loop_vectorized
-        else:
-            loop = self._loop_fast if fast_on else self._loop_reference
-        try:
-            writes, reads, dedup_at_warmup = loop(
-                requests, scheme, core, window, write_rec, read_rec,
-                verify, warmup_after, instructions_per_access,
-                dedup_at_warmup)
-        finally:
-            obs_run = _obs_runtime.end_run(obs_prev)
-            _vec_end(vec_prev)
-            memo_stats = _fastpath_end(fast_prev)
-
-        extras = collect_extras(scheme)
-        extras["fastpath_enabled"] = 1.0 if fast_on else 0.0
-        extras["vectorized_enabled"] = 1.0 if vec_on else 0.0
-        if fast_on:
-            extras.update(memo_stats)
-        if vec_stats is not None:
-            extras.update(vec_stats.snapshot())
-
-        obs_report = None
-        if obs_run is not None:
-            # Migrate the legacy counter channels onto the registry after
-            # the loop has finished (observational only — extras above were
-            # computed identically with or without obs).
-            harvest_run(obs_run, scheme, memo_stats if fast_on else {},
-                        vec_stats=vec_stats.snapshot() if vec_stats else {})
-            obs_report = build_report(obs_run)
-
-        controller = scheme.controller
-        return SimulationResult(
-            app=app,
-            scheme=scheme.name,
-            write_latency=write_rec,
-            read_latency=read_rec,
-            writes=writes,
-            reads=reads,
-            dedup_eliminated=scheme.counters.get("dedup_hits") - dedup_at_warmup,
-            pcm_data_writes=controller.data_writes,
-            pcm_metadata_writes=controller.metadata_writes,
-            pcm_data_reads=controller.data_reads,
-            pcm_metadata_reads=controller.metadata_reads,
-            energy_nj=scheme.total_energy().breakdown(),
-            breakdown=scheme.breakdown,
-            read_breakdown=scheme.read_breakdown,
-            ipc=core.ipc,
-            metadata=scheme.metadata_footprint(),
-            extras=extras,
-            obs=obs_report,
-        )
-
-    def _loop_fast(self, requests, scheme, core, window, write_rec,
-                   read_rec, verify, warmup_after, instructions_per_access,
-                   dedup_at_warmup):
-        """Optimized request loop (kernel fast path on).
-
-        Identical control flow to :meth:`_loop_reference`; bound methods
-        and constants are hoisted because every attribute lookup in the
-        body is paid once per trace request.
-        """
-        ec = self.engine_config
-        handle_write = scheme.handle_write
-        handle_read = scheme.handle_read
-        # Post-warm-up latencies are batched into plain lists and flushed
-        # through LatencyRecorder.add_many (same arithmetic, one call).
-        write_lats: list = []
-        read_lats: list = []
-        write_lat_append = write_lats.append
-        read_lat_append = read_lats.append
-        window_append = window.append
-        window_popleft = window.popleft
-        shadow = self._shadow
-        max_outstanding = ec.max_outstanding
-        WRITE = AccessType.WRITE
-        # Core timing accumulated locally and flushed once after the loop:
-        # per-request ``memory_stall``/``retire_instructions`` calls are pure
-        # accumulation, and sequential float adds into a local produce the
-        # same value as sequential adds into the (zero-initialised) member.
-        cycle_ns = core.config.cycle_ns
-        write_stall_fraction = core.write_stall_fraction
-        stall_cycles = 0.0
-        instructions = 0
-        processed = 0
-        writes = reads = 0
-        # Hoisted observation scope: fixed for the whole run (begin_run ran
-        # before the loop was chosen), so one load serves every request.
-        obs = _obs_runtime.RUN
-        try:
-            for request in requests:
-                if obs is not None:
-                    obs.begin_request(processed)
-                # Closed-loop throttling: delay the issue until a window slot
-                # frees up.
-                issue = request.issue_time_ns
-                if len(window) >= max_outstanding:
-                    oldest = window_popleft()
-                    if oldest > issue:
-                        issue = oldest
-                if issue != request.issue_time_ns:
-                    request = replace(request, issue_time_ns=issue)
-
-                if request.access is WRITE:
-                    result = handle_write(request)
-                    latency = result.latency_ns
-                    completion = result.completion_ns
-                    if verify:
-                        shadow[request.address] = request.data
-                    if processed >= warmup_after:
-                        write_lat_append(latency)
-                    stall_cycles += (latency / cycle_ns) * write_stall_fraction
-                    if obs is not None:
-                        if processed >= warmup_after:
-                            obs.write_latency_hist.observe(latency)
-                        obs.record(completion, "engine", "write_done",
-                                   address=request.address,
-                                   latency_ns=latency)
-                else:
-                    rresult = handle_read(request)
-                    latency = rresult.latency_ns
-                    completion = rresult.completion_ns
-                    if verify:
-                        expected = shadow.get(request.address)
-                        if expected is not None and rresult.data != expected:
-                            raise IntegrityError(
-                                f"read at {request.address:#x} returned stale "
-                                f"or corrupt data under scheme {scheme.name}")
-                    if processed >= warmup_after:
-                        read_lat_append(latency)
-                    stall_cycles += latency / cycle_ns
-                    if obs is not None:
-                        if processed >= warmup_after:
-                            obs.read_latency_hist.observe(latency)
-                        obs.record(completion, "engine", "read_done",
-                                   address=request.address,
-                                   latency_ns=latency)
-
-                instructions += instructions_per_access
-                window_append(completion)
-                processed += 1
-                if processed == warmup_after:
-                    dedup_at_warmup = scheme.counters.get("dedup_hits")
-        finally:
-            core.stall_cycles += stall_cycles
-            core.instructions += instructions
-            write_rec.add_many(write_lats)
-            read_rec.add_many(read_lats)
-        writes = len(write_lats)
-        reads = len(read_lats)
-        return writes, reads, dedup_at_warmup
-
-    def _loop_vectorized(self, requests, scheme, core, window, write_rec,
-                         read_rec, verify, warmup_after,
-                         instructions_per_access, dedup_at_warmup):
-        """Epoch-batched request loop (:mod:`repro.vec`).
-
-        Drains the stream in epochs (chunked ``islice`` — the full trace is
-        never materialized), runs the batched kernel front end over each
-        epoch (:class:`~repro.vec.epoch.EpochPrecomputer` priming the memo
-        caches), then resolves the epoch line by line with a body that is
-        byte-for-byte :meth:`_loop_fast`'s — the sequential feedback loops
-        (issue window, banks, metadata recency) and every float accumulation
-        happen in exactly the reference order, which is what the bit-exact
-        parity contract requires.  Latency batches flush per epoch, so
-        retained-buffer memory is bounded by the epoch size instead of the
-        trace length.
-        """
-        ec = self.engine_config
-        vec_stats = self._vec_stats
-        precomp = EpochPrecomputer(scheme, vec_stats)
-        handle_write = scheme.handle_write
-        handle_read = scheme.handle_read
-        write_lats: list = []
-        read_lats: list = []
-        write_lat_append = write_lats.append
-        read_lat_append = read_lats.append
-        window_append = window.append
-        window_popleft = window.popleft
-        shadow = self._shadow
-        max_outstanding = ec.max_outstanding
-        WRITE = AccessType.WRITE
-        cycle_ns = core.config.cycle_ns
-        write_stall_fraction = core.write_stall_fraction
-        stall_cycles = 0.0
-        instructions = 0
-        processed = 0
-        writes = reads = 0
-        obs = _obs_runtime.RUN
-        epoch_hist = None
-        if obs is not None:
-            epoch_hist = obs.registry.histogram("vec_epoch_size",
-                                                _EPOCH_SIZE_BOUNDS)
-        try:
-            for epoch in iter_epochs(requests, ec.vec_epoch_size):
-                precomp.precompute(epoch)
-                if epoch_hist is not None:
-                    epoch_hist.observe(float(len(epoch)))
-                for request in epoch:
-                    if obs is not None:
-                        obs.begin_request(processed)
-                    # Closed-loop throttling: delay the issue until a window
-                    # slot frees up.
-                    issue = request.issue_time_ns
-                    if len(window) >= max_outstanding:
-                        oldest = window_popleft()
-                        if oldest > issue:
-                            issue = oldest
-                    if issue != request.issue_time_ns:
-                        request = replace(request, issue_time_ns=issue)
-
-                    if request.access is WRITE:
-                        result = handle_write(request)
-                        latency = result.latency_ns
-                        completion = result.completion_ns
-                        if verify:
-                            shadow[request.address] = request.data
-                        if processed >= warmup_after:
-                            write_lat_append(latency)
-                        stall_cycles += ((latency / cycle_ns)
-                                         * write_stall_fraction)
-                        if obs is not None:
-                            if processed >= warmup_after:
-                                obs.write_latency_hist.observe(latency)
-                            obs.record(completion, "engine", "write_done",
-                                       address=request.address,
-                                       latency_ns=latency)
-                    else:
-                        rresult = handle_read(request)
-                        latency = rresult.latency_ns
-                        completion = rresult.completion_ns
-                        if verify:
-                            expected = shadow.get(request.address)
-                            if expected is not None and rresult.data != expected:
-                                raise IntegrityError(
-                                    f"read at {request.address:#x} returned "
-                                    f"stale or corrupt data under scheme "
-                                    f"{scheme.name}")
-                        if processed >= warmup_after:
-                            read_lat_append(latency)
-                        stall_cycles += latency / cycle_ns
-                        if obs is not None:
-                            if processed >= warmup_after:
-                                obs.read_latency_hist.observe(latency)
-                            obs.record(completion, "engine", "read_done",
-                                       address=request.address,
-                                       latency_ns=latency)
-
-                    instructions += instructions_per_access
-                    window_append(completion)
-                    processed += 1
-                    if processed == warmup_after:
-                        dedup_at_warmup = scheme.counters.get("dedup_hits")
-                # Per-epoch flush: identical per-sample arithmetic to one
-                # end-of-run add_many (the recorder state round-trips through
-                # the instance between batches), with retained-buffer memory
-                # bounded by the epoch size.
-                writes += len(write_lats)
-                reads += len(read_lats)
-                write_rec.add_many(write_lats)
-                read_rec.add_many(read_lats)
-                write_lats.clear()
-                read_lats.clear()
-        finally:
-            core.stall_cycles += stall_cycles
-            core.instructions += instructions
-            # On an exception mid-epoch, flush the partial batch — same
-            # observable state as _loop_fast's finally.
-            write_rec.add_many(write_lats)
-            read_rec.add_many(read_lats)
-        return writes, reads, dedup_at_warmup
-
-    def _loop_reference(self, requests, scheme, core, window, write_rec,
-                        read_rec, verify, warmup_after,
-                        instructions_per_access, dedup_at_warmup):
-        """Reference request loop (pre-fast-path form, kept verbatim
-        apart from the observation hooks, which mirror the fast loop's)."""
-        ec = self.engine_config
-        processed = 0
-        writes = reads = 0
-        obs = _obs_runtime.RUN
-        for request in requests:
-            if obs is not None:
-                obs.begin_request(processed)
-            # Closed-loop throttling: delay the issue until a window slot
-            # frees up.
-            issue = request.issue_time_ns
-            if len(window) >= ec.max_outstanding:
-                oldest = window.popleft()
-                if oldest > issue:
-                    issue = oldest
-            if issue != request.issue_time_ns:
-                request = replace(request, issue_time_ns=issue)
-
-            if request.is_write:
-                result = scheme.handle_write(request)
-                latency = result.latency_ns
-                completion = result.completion_ns
-                if verify:
-                    self._shadow[request.address] = request.data
-                if processed >= warmup_after:
-                    write_rec.add(latency)
-                    writes += 1
-                core.memory_stall(latency, is_write=True)
-                if obs is not None:
-                    if processed >= warmup_after:
-                        obs.write_latency_hist.observe(latency)
-                    obs.record(completion, "engine", "write_done",
-                               address=request.address,
-                               latency_ns=latency)
-            else:
-                rresult = scheme.handle_read(request)
-                latency = rresult.latency_ns
-                completion = rresult.completion_ns
-                if verify:
-                    expected = self._shadow.get(request.address)
-                    if expected is not None and rresult.data != expected:
-                        raise IntegrityError(
-                            f"read at {request.address:#x} returned stale "
-                            f"or corrupt data under scheme {scheme.name}")
-                if processed >= warmup_after:
-                    read_rec.add(latency)
-                    reads += 1
-                core.memory_stall(latency, is_write=False)
-                if obs is not None:
-                    if processed >= warmup_after:
-                        obs.read_latency_hist.observe(latency)
-                    obs.record(completion, "engine", "read_done",
-                               address=request.address,
-                               latency_ns=latency)
-
-            core.retire_instructions(instructions_per_access)
-            window.append(completion)
-            processed += 1
-            if processed == warmup_after:
-                dedup_at_warmup = scheme.counters.get("dedup_hits")
-        return writes, reads, dedup_at_warmup
+        session = self.open_session(
+            app=app, total_hint=total_hint,
+            instructions_per_access=instructions_per_access)
+        session.feed(requests)
+        return session.finalize()

@@ -1,0 +1,583 @@
+"""Incremental simulation sessions: the engine's streaming API.
+
+:meth:`~repro.sim.engine.SimulationEngine.run` consumes a whole request
+stream in one call.  The serving layer (:mod:`repro.serve`) instead needs
+to *feed* a long-running simulation in chunks as they arrive from a
+client, interleaved with other tenants' sessions on the same process.
+:class:`Session` is that API::
+
+    session = engine.open_session(app="gcc", total_hint=20_000)
+    for chunk in chunks:          # any chunk sizes, any number of calls
+        session.feed(chunk)
+    result = session.finalize()   # same SimulationResult run() returns
+
+Parity contract
+---------------
+
+``run()`` is reimplemented on top of ``open_session``/``feed``/
+``finalize``, and a session fed in arbitrary chunk sizes produces a
+``SimulationResult`` **bit-identical** to a one-shot ``run()`` of the
+concatenated stream (``tests/test_serve_session_parity.py``).  The three
+request-loop bodies — reference, kernel-fast, and epoch-vectorized — are
+the engine's former ``_loop_*`` implementations carved into resumable
+chunk processors; the load-bearing details are:
+
+* **Float accumulation order.**  The fast/vectorized loops accumulate
+  core stall cycles in a local and flush once at the end; a session keeps
+  that running float across ``feed`` calls and flushes it to the core in
+  ``finalize``, so the sequence of float additions is exactly the
+  one-shot loop's (chunked partial sums would reassociate and drift).
+* **Recorder batching.**  ``LatencyRecorder.add_many`` performs the same
+  per-sample arithmetic as repeated ``add`` with state round-tripping
+  through the instance, so flushing per feed chunk (fast) or per epoch
+  (vectorized) is bit-identical to one end-of-run flush.
+* **Epoch formation.**  The vectorized loop drains the stream in
+  fixed-size epochs; a session buffers pending requests and only
+  processes *full* epochs during ``feed``, releasing the short tail
+  epoch in ``finalize`` — the exact chunking ``iter_epochs`` produces
+  regardless of how the stream was split across ``feed`` calls.
+
+Scope handling
+--------------
+
+The fast-path/vectorized switches and the observability scope are
+process-global (:mod:`repro.perf.memo`, :mod:`repro.vec.flags`,
+:mod:`repro.obs.runtime`).  A session resolves its switches once at open
+(config override wins, ``None`` defers to the environment default, memo
+caches are reset — exactly ``run()``'s begin), then *activates* them
+around each ``feed``/``finalize`` call and restores the previous globals
+after, so many sessions can interleave on one process.  Memo caches are
+shared between interleaved sessions — sound, because the caches are
+content-addressed and pure, but the cache-statistics extras (``memo_*``
+and the ``vec_batched_*`` priming counts, which skip already-cached
+contents) are only deterministic for sessions that run without
+interleaving; the parity gates compare full results on that basis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from itertools import islice
+from typing import Deque, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from ..cache.cpu import CoreTimingModel
+from ..common.errors import IntegrityError, SessionError
+from ..common.stats import LatencyRecorder
+from ..common.types import AccessType, MemoryRequest
+from ..obs import runtime as _obs_runtime
+from ..obs.export import build_report
+from ..obs.harvest import harvest_run
+from ..obs.runtime import RunObservation
+from ..perf import memo as _memo
+from ..vec import flags as _vec_flags
+from ..vec.epoch import EpochPrecomputer, VecStats
+from .metrics import SimulationResult, collect_extras
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import SimulationEngine
+
+__all__ = ["Session"]
+
+#: Power-of-two bucket bounds for the vectorized loop's epoch-size
+#: histogram (epochs are ``vec_epoch_size`` except a possibly-short tail).
+_EPOCH_SIZE_BOUNDS = tuple(float(1 << i) for i in range(21))
+
+
+class Session:
+    """One incremental simulation: open, feed chunks, finalize.
+
+    Create through :meth:`SimulationEngine.open_session`.  A session is
+    single-consumer and not thread-safe; the serving layer serializes
+    engine work explicitly.
+    """
+
+    def __init__(self, engine: "SimulationEngine", *,
+                 app: str = "unknown", total_hint: Optional[int] = None,
+                 instructions_per_access: int = 200) -> None:
+        self.engine = engine
+        self.scheme = engine.scheme
+        self.config = engine.config
+        self.app = app
+        self.instructions_per_access = instructions_per_access
+        ec = engine.engine_config
+
+        # Run-switch resolution mirrors repro.perf/repro.vec begin_run:
+        # config override wins, None defers to the environment default.
+        cfg = self.config
+        self._fast_on = (_memo.default_enabled() if cfg.use_fastpath is None
+                         else bool(cfg.use_fastpath))
+        self._vec_on = (_vec_flags.default_enabled()
+                        if cfg.use_vectorized is None
+                        else bool(cfg.use_vectorized))
+        # Caches start cold per session, the property that makes cache
+        # statistics a deterministic function of (trace, scheme, config)
+        # for non-interleaved sessions — exactly run()'s begin_run reset.
+        _memo.reset_all()
+
+        obs_cfg = cfg.observability
+        self._obs_run: Optional[RunObservation] = (
+            RunObservation(obs_cfg)
+            if obs_cfg is not None and obs_cfg.enabled else None)
+
+        self._verify = cfg.verify_integrity
+        self._write_rec = LatencyRecorder(ec.max_latency_samples)
+        self._read_rec = LatencyRecorder(ec.max_latency_samples)
+        self._core = CoreTimingModel(config=cfg.processor)
+        self._window: Deque[float] = deque()
+        self._shadow: Dict[int, bytes] = engine._shadow
+        self._max_outstanding = ec.max_outstanding
+        self._cycle_ns = self._core.config.cycle_ns
+        self._write_stall_fraction = self._core.write_stall_fraction
+
+        self._warmup_after = (int(total_hint * ec.warmup_fraction)
+                              if total_hint else 0)
+        self._dedup_at_warmup = self.scheme.counters.get("dedup_hits")
+
+        self._processed = 0
+        self._writes = 0
+        self._reads = 0
+        #: Running core-timing accumulators (fast/vectorized loops only);
+        #: flushed to the core once, in finalize — see the module
+        #: docstring's float-order note.
+        self._stall_cycles = 0.0
+        self._instructions = 0
+
+        self._vec_stats: Optional[VecStats] = VecStats() if self._vec_on else None
+        engine._vec_stats = self._vec_stats
+        self._precomp = (EpochPrecomputer(self.scheme, self._vec_stats)
+                         if self._vec_on else None)
+        self._epoch_size = ec.vec_epoch_size
+        self._pending: List[MemoryRequest] = []
+        self._epoch_hist = None
+        if self._obs_run is not None and self._vec_on:
+            self._epoch_hist = self._obs_run.registry.histogram(
+                "vec_epoch_size", _EPOCH_SIZE_BOUNDS)
+
+        self._state = "open"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``open``, ``finalized``, ``closed``, or ``failed``."""
+        return self._state
+
+    @property
+    def processed(self) -> int:
+        """Requests processed so far (excluding buffered epoch tail)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Requests buffered toward the next epoch (vectorized mode)."""
+        return len(self._pending)
+
+    def _require_open(self, verb: str) -> None:
+        if self._state != "open":
+            raise SessionError(
+                f"cannot {verb} a {self._state} session (app={self.app!r}, "
+                f"scheme={self.scheme.name})")
+
+    def _activate(self) -> None:
+        """Install this session's global switches; save the previous."""
+        self._saved = (_memo.ENABLED, _vec_flags.ENABLED, _obs_runtime.RUN)
+        _memo.ENABLED = self._fast_on
+        _vec_flags.ENABLED = self._vec_on
+        _obs_runtime.RUN = self._obs_run
+
+    def _deactivate(self) -> None:
+        _memo.ENABLED, _vec_flags.ENABLED, _obs_runtime.RUN = self._saved
+
+    def feed(self, requests: Iterable[MemoryRequest]) -> int:
+        """Process a chunk of the request stream; returns its length.
+
+        Raises:
+            SessionError: when the session is not open.
+            IntegrityError: on read-back verification failure (the
+                session transitions to ``failed``).
+        """
+        self._require_open("feed")
+        self._activate()
+        try:
+            if self._vec_on:
+                return self._feed_vectorized(requests)
+            if self._fast_on:
+                return self._feed_fast(requests)
+            return self._feed_reference(requests)
+        except BaseException:
+            self._state = "failed"
+            raise
+        finally:
+            self._deactivate()
+
+    def finalize(self) -> SimulationResult:
+        """Flush buffered work and build the result; ends the session."""
+        self._require_open("finalize")
+        self._activate()
+        try:
+            if self._pending:
+                # The short tail epoch iter_epochs would have produced.
+                tail = self._pending
+                self._pending = []
+                self._process_epoch(tail)
+            memo_stats: Dict[str, float] = (
+                _memo.stats_snapshot() if self._fast_on else {})
+        except BaseException:
+            self._state = "failed"
+            raise
+        finally:
+            self._deactivate()
+
+        core = self._core
+        if self._fast_on or self._vec_on:
+            # One flush of the session-running accumulators — the same
+            # single float addition the batched loops' finally performed.
+            core.stall_cycles += self._stall_cycles
+            core.instructions += self._instructions
+
+        scheme = self.scheme
+        extras = collect_extras(scheme)
+        extras["fastpath_enabled"] = 1.0 if self._fast_on else 0.0
+        extras["vectorized_enabled"] = 1.0 if self._vec_on else 0.0
+        if self._fast_on:
+            extras.update(memo_stats)
+        if self._vec_stats is not None:
+            extras.update(self._vec_stats.snapshot())
+
+        obs_report = None
+        if self._obs_run is not None:
+            harvest_run(self._obs_run, scheme,
+                        memo_stats if self._fast_on else {},
+                        vec_stats=(self._vec_stats.snapshot()
+                                   if self._vec_stats else {}))
+            obs_report = build_report(self._obs_run)
+
+        controller = scheme.controller
+        self._state = "finalized"
+        return SimulationResult(
+            app=self.app,
+            scheme=scheme.name,
+            write_latency=self._write_rec,
+            read_latency=self._read_rec,
+            writes=self._writes,
+            reads=self._reads,
+            dedup_eliminated=(scheme.counters.get("dedup_hits")
+                              - self._dedup_at_warmup),
+            pcm_data_writes=controller.data_writes,
+            pcm_metadata_writes=controller.metadata_writes,
+            pcm_data_reads=controller.data_reads,
+            pcm_metadata_reads=controller.metadata_reads,
+            energy_nj=scheme.total_energy().breakdown(),
+            breakdown=scheme.breakdown,
+            read_breakdown=scheme.read_breakdown,
+            ipc=core.ipc,
+            metadata=scheme.metadata_footprint(),
+            extras=extras,
+            obs=obs_report,
+        )
+
+    def close(self) -> None:
+        """Mark an open session closed without building a result.
+
+        Idempotent; finalized/failed sessions are left in their terminal
+        state.  No global scope is held between calls, so there is
+        nothing else to release.
+        """
+        if self._state == "open":
+            self._state = "closed"
+
+    # ------------------------------------------------------------------
+    # Chunk processors (the engine's former _loop_* bodies, resumable)
+    # ------------------------------------------------------------------
+
+    def _feed_fast(self, requests: Iterable[MemoryRequest]) -> int:
+        """Kernel-fast chunk processor (the former ``_loop_fast`` body).
+
+        Bound methods and constants are hoisted because every attribute
+        lookup in the body is paid once per request; running accumulators
+        are loaded from and stored back to the session so the arithmetic
+        sequence across chunks matches the one-shot loop exactly.
+        """
+        scheme = self.scheme
+        handle_write = scheme.handle_write
+        handle_read = scheme.handle_read
+        verify = self._verify
+        warmup_after = self._warmup_after
+        instructions_per_access = self.instructions_per_access
+        write_lats: List[float] = []
+        read_lats: List[float] = []
+        write_lat_append = write_lats.append
+        read_lat_append = read_lats.append
+        window = self._window
+        window_append = window.append
+        window_popleft = window.popleft
+        shadow = self._shadow
+        max_outstanding = self._max_outstanding
+        WRITE = AccessType.WRITE
+        cycle_ns = self._cycle_ns
+        write_stall_fraction = self._write_stall_fraction
+        stall_cycles = self._stall_cycles
+        instructions = self._instructions
+        processed = self._processed
+        obs = self._obs_run
+        fed = 0
+        try:
+            for request in requests:
+                if obs is not None:
+                    obs.begin_request(processed)
+                # Closed-loop throttling: delay the issue until a window
+                # slot frees up.
+                issue = request.issue_time_ns
+                if len(window) >= max_outstanding:
+                    oldest = window_popleft()
+                    if oldest > issue:
+                        issue = oldest
+                if issue != request.issue_time_ns:
+                    request = replace(request, issue_time_ns=issue)
+
+                if request.access is WRITE:
+                    result = handle_write(request)
+                    latency = result.latency_ns
+                    completion = result.completion_ns
+                    if verify:
+                        shadow[request.address] = request.data
+                    if processed >= warmup_after:
+                        write_lat_append(latency)
+                    stall_cycles += ((latency / cycle_ns)
+                                     * write_stall_fraction)
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.write_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "write_done",
+                                   address=request.address,
+                                   latency_ns=latency)
+                else:
+                    rresult = handle_read(request)
+                    latency = rresult.latency_ns
+                    completion = rresult.completion_ns
+                    if verify:
+                        expected = shadow.get(request.address)
+                        if expected is not None and rresult.data != expected:
+                            raise IntegrityError(
+                                f"read at {request.address:#x} returned "
+                                f"stale or corrupt data under scheme "
+                                f"{scheme.name}")
+                    if processed >= warmup_after:
+                        read_lat_append(latency)
+                    stall_cycles += latency / cycle_ns
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.read_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "read_done",
+                                   address=request.address,
+                                   latency_ns=latency)
+
+                instructions += instructions_per_access
+                window_append(completion)
+                processed += 1
+                fed += 1
+                if processed == warmup_after:
+                    self._dedup_at_warmup = scheme.counters.get("dedup_hits")
+        finally:
+            self._stall_cycles = stall_cycles
+            self._instructions = instructions
+            self._processed = processed
+            self._writes += len(write_lats)
+            self._reads += len(read_lats)
+            self._write_rec.add_many(write_lats)
+            self._read_rec.add_many(read_lats)
+        return fed
+
+    def _feed_reference(self, requests: Iterable[MemoryRequest]) -> int:
+        """Reference chunk processor (the former ``_loop_reference``,
+        kept verbatim apart from chunk-state carry)."""
+        scheme = self.scheme
+        verify = self._verify
+        warmup_after = self._warmup_after
+        core = self._core
+        window = self._window
+        write_rec = self._write_rec
+        read_rec = self._read_rec
+        obs = self._obs_run
+        processed = self._processed
+        fed = 0
+        for request in requests:
+            if obs is not None:
+                obs.begin_request(processed)
+            # Closed-loop throttling: delay the issue until a window slot
+            # frees up.
+            issue = request.issue_time_ns
+            if len(window) >= self._max_outstanding:
+                oldest = window.popleft()
+                if oldest > issue:
+                    issue = oldest
+            if issue != request.issue_time_ns:
+                request = replace(request, issue_time_ns=issue)
+
+            if request.is_write:
+                result = scheme.handle_write(request)
+                latency = result.latency_ns
+                completion = result.completion_ns
+                if verify:
+                    self._shadow[request.address] = request.data
+                if processed >= warmup_after:
+                    write_rec.add(latency)
+                    self._writes += 1
+                core.memory_stall(latency, is_write=True)
+                if obs is not None:
+                    if processed >= warmup_after:
+                        obs.write_latency_hist.observe(latency)
+                    obs.record(completion, "engine", "write_done",
+                               address=request.address,
+                               latency_ns=latency)
+            else:
+                rresult = scheme.handle_read(request)
+                latency = rresult.latency_ns
+                completion = rresult.completion_ns
+                if verify:
+                    expected = self._shadow.get(request.address)
+                    if expected is not None and rresult.data != expected:
+                        raise IntegrityError(
+                            f"read at {request.address:#x} returned stale "
+                            f"or corrupt data under scheme {scheme.name}")
+                if processed >= warmup_after:
+                    read_rec.add(latency)
+                    self._reads += 1
+                core.memory_stall(latency, is_write=False)
+                if obs is not None:
+                    if processed >= warmup_after:
+                        obs.read_latency_hist.observe(latency)
+                    obs.record(completion, "engine", "read_done",
+                               address=request.address,
+                               latency_ns=latency)
+
+            core.retire_instructions(self.instructions_per_access)
+            window.append(completion)
+            processed += 1
+            fed += 1
+            self._processed = processed
+            if processed == warmup_after:
+                self._dedup_at_warmup = scheme.counters.get("dedup_hits")
+        return fed
+
+    def _feed_vectorized(self, requests: Iterable[MemoryRequest]) -> int:
+        """Epoch-buffering front end of the vectorized chunk processor.
+
+        Buffers incoming requests and processes only *full* epochs of
+        ``vec_epoch_size``; the short tail is released by ``finalize``.
+        The epoch boundaries are therefore exactly ``iter_epochs``'s for
+        the concatenated stream, independent of feed chunk sizes.
+        """
+        pending = self._pending
+        size = self._epoch_size
+        iterator = iter(requests)
+        fed = 0
+        while True:
+            chunk = list(islice(iterator, size - len(pending)))
+            if not chunk:
+                return fed
+            fed += len(chunk)
+            pending.extend(chunk)
+            if len(pending) == size:
+                epoch = pending
+                self._pending = pending = []
+                self._process_epoch(epoch)
+
+    def _process_epoch(self, epoch: List[MemoryRequest]) -> None:
+        """Resolve one epoch (the former ``_loop_vectorized`` epoch body)."""
+        scheme = self.scheme
+        self._precomp.precompute(epoch)
+        if self._epoch_hist is not None:
+            self._epoch_hist.observe(float(len(epoch)))
+        handle_write = scheme.handle_write
+        handle_read = scheme.handle_read
+        verify = self._verify
+        warmup_after = self._warmup_after
+        instructions_per_access = self.instructions_per_access
+        write_lats: List[float] = []
+        read_lats: List[float] = []
+        write_lat_append = write_lats.append
+        read_lat_append = read_lats.append
+        window = self._window
+        window_append = window.append
+        window_popleft = window.popleft
+        shadow = self._shadow
+        max_outstanding = self._max_outstanding
+        WRITE = AccessType.WRITE
+        cycle_ns = self._cycle_ns
+        write_stall_fraction = self._write_stall_fraction
+        stall_cycles = self._stall_cycles
+        instructions = self._instructions
+        processed = self._processed
+        obs = self._obs_run
+        try:
+            for request in epoch:
+                if obs is not None:
+                    obs.begin_request(processed)
+                # Closed-loop throttling: delay the issue until a window
+                # slot frees up.
+                issue = request.issue_time_ns
+                if len(window) >= max_outstanding:
+                    oldest = window_popleft()
+                    if oldest > issue:
+                        issue = oldest
+                if issue != request.issue_time_ns:
+                    request = replace(request, issue_time_ns=issue)
+
+                if request.access is WRITE:
+                    result = handle_write(request)
+                    latency = result.latency_ns
+                    completion = result.completion_ns
+                    if verify:
+                        shadow[request.address] = request.data
+                    if processed >= warmup_after:
+                        write_lat_append(latency)
+                    stall_cycles += ((latency / cycle_ns)
+                                     * write_stall_fraction)
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.write_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "write_done",
+                                   address=request.address,
+                                   latency_ns=latency)
+                else:
+                    rresult = handle_read(request)
+                    latency = rresult.latency_ns
+                    completion = rresult.completion_ns
+                    if verify:
+                        expected = shadow.get(request.address)
+                        if expected is not None and rresult.data != expected:
+                            raise IntegrityError(
+                                f"read at {request.address:#x} returned "
+                                f"stale or corrupt data under scheme "
+                                f"{scheme.name}")
+                    if processed >= warmup_after:
+                        read_lat_append(latency)
+                    stall_cycles += latency / cycle_ns
+                    if obs is not None:
+                        if processed >= warmup_after:
+                            obs.read_latency_hist.observe(latency)
+                        obs.record(completion, "engine", "read_done",
+                                   address=request.address,
+                                   latency_ns=latency)
+
+                instructions += instructions_per_access
+                window_append(completion)
+                processed += 1
+                if processed == warmup_after:
+                    self._dedup_at_warmup = scheme.counters.get("dedup_hits")
+        finally:
+            # Per-epoch flush — identical per-sample arithmetic to one
+            # end-of-run add_many (the recorder state round-trips through
+            # the instance between batches); also runs on an exception
+            # mid-epoch so the partial batch is never lost.
+            self._stall_cycles = stall_cycles
+            self._instructions = instructions
+            self._processed = processed
+            self._writes += len(write_lats)
+            self._reads += len(read_lats)
+            self._write_rec.add_many(write_lats)
+            self._read_rec.add_many(read_lats)

@@ -59,8 +59,25 @@ class FullSystem:
             mean_gap_ns: simulated time between CPU accesses (cache hits
                 advance the clock by cache latency; this adds issue spacing).
         """
+        self.feed(accesses, instructions_per_access=instructions_per_access,
+                  mean_gap_ns=mean_gap_ns)
+        return self.finalize(app)
+
+    def feed(self, accesses: Iterable[CPUAccess], *,
+             instructions_per_access: int = 200,
+             mean_gap_ns: float = 2.0) -> int:
+        """Process a chunk of CPU accesses incrementally; returns count.
+
+        The full-stack counterpart of the engine session API
+        (:meth:`repro.sim.engine.SimulationEngine.open_session`): all
+        per-access state (clock, hierarchy, core, recorders) lives on
+        the instance, so a stream may be fed in any number of chunks —
+        chunking is invisible in :meth:`finalize`'s result.
+        """
         cycle_ns = self.config.processor.cycle_ns
+        fed = 0
         for access in accesses:
+            fed += 1
             self._clock_ns += mean_gap_ns
             event = self.hierarchy.access(access)
             cache_ns = event.latency_cycles * cycle_ns
@@ -85,7 +102,10 @@ class FullSystem:
                 wresult = self.scheme.handle_write(wb)
                 self.write_latency.add(wresult.latency_ns)
                 self.core.memory_stall(wresult.latency_ns, is_write=True)
+        return fed
 
+    def finalize(self, app: str = "unknown") -> SimulationResult:
+        """Build the result from everything fed so far."""
         return self._result(app)
 
     def drain(self) -> int:

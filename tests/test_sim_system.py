@@ -64,6 +64,21 @@ class TestFullSystem:
         # Identical payloads: nearly every write-back deduplicates.
         assert system.scheme.write_reduction() > 0.9
 
+    def test_incremental_feed_matches_run(self, config):
+        """Chunked feed()/finalize() is bit-identical to one-shot run()."""
+        from repro.sim.export import result_to_state
+
+        accesses = list(CPUAccessGenerator("gcc", seed=9).generate(2_000))
+        one_shot = FullSystem(
+            make_scheme("ESD", tiny_hierarchy_config(config)))
+        expected = one_shot.run(iter(accesses), app="gcc")
+        chunked = FullSystem(
+            make_scheme("ESD", tiny_hierarchy_config(config)))
+        for start in range(0, len(accesses), 333):
+            chunked.feed(iter(accesses[start:start + 333]))
+        got = chunked.finalize("gcc")
+        assert result_to_state(got) == result_to_state(expected)
+
     def test_drain_flushes_dirty_lines(self, system):
         accesses = [CPUAccess(address=i * 64, write=True, data=b"\x11" * 64)
                     for i in range(64)]
