@@ -26,6 +26,11 @@ sections:
 * **serve_throughput** — requests/sec streaming one trace through the
   :mod:`repro.serve` loopback server vs the same trace run directly
   (report-only; the serve parity hard gate is ``serve_smoke.py``).
+* **sweep_throughput** — jobs/sec for every (execution, storage) backend
+  pair of the sweep layer (pool/queue x dir/sqlite).  Timings are
+  report-only; each pair's byte-identity to the serial reference grid
+  is a hard gate (the distributed fault-injection gate is
+  ``sweep_distributed_smoke.py``).
 
 Besides overwriting the full report, each run appends one compact,
 timestamped, schema-versioned entry (headline medians plus the gate
@@ -413,12 +418,86 @@ def bench_serve_throughput(requests: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Sweep execution/storage backend throughput
+# ----------------------------------------------------------------------
+
+#: Version of the ``sweep_throughput`` section's layout; bump on
+#: incompatible changes so trajectory consumers can filter.
+SWEEP_THROUGHPUT_SCHEMA_VERSION = 1
+
+#: Every (execution backend, storage backend) pair the sweep layer
+#: registers, timed against one identical grid.
+SWEEP_BACKEND_PAIRS = (
+    ("pool", "dir"),
+    ("pool", "sqlite"),
+    ("queue", "dir"),
+    ("queue", "sqlite"),
+)
+
+
+def bench_sweep_backends(requests: int) -> Dict:
+    """Jobs/sec per (execution, storage) backend pair, parity gated.
+
+    Each pair runs the same small grid into a fresh store; throughput
+    (completed jobs per wall second, cold cache) is report-only —
+    fork/SQLite/lease overhead differs legitimately across pairs — but
+    every pair's summary rows must be byte-identical to the serial
+    reference grid, and that boolean is a hard gate.
+    """
+    import tempfile
+
+    from repro.sweep import WorkQueueBackend, run_sweep
+
+    config = ExperimentConfig(
+        apps=["gcc", "lbm"], schemes=["Baseline", "ESD"],
+        requests_per_app=requests, system=scaled_system_config(),
+        seed=GRID_SEED)
+    n_jobs = len(config.apps) * len(config.schemes)
+    reference = {f"{app}/{scheme}": result.summary_row()
+                 for (app, scheme), result in run_grid(config).items()}
+
+    pairs: Dict[str, Dict] = {}
+    all_identical = True
+    for backend_name, storage_name in SWEEP_BACKEND_PAIRS:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-sweep-") as tmp:
+            spec = (f"{tmp}/store.sqlite" if storage_name == "sqlite"
+                    else f"{tmp}/store")
+            backend = (WorkQueueBackend(lease_s=15.0, poll_s=0.05)
+                       if backend_name == "queue" else backend_name)
+            wall0 = time.perf_counter()
+            grid = run_sweep(config, jobs=2, store=spec, backend=backend,
+                             storage=storage_name)
+            wall = time.perf_counter() - wall0
+        rows = {f"{app}/{scheme}": result.summary_row()
+                for (app, scheme), result in grid.items()}
+        identical = rows == reference
+        all_identical = all_identical and identical
+        pairs[f"{backend_name}/{storage_name}"] = {
+            "wall_s": wall,
+            "jobs_per_s": n_jobs / wall if wall > 0 else 0.0,
+            "identical": identical,
+        }
+    return {
+        "sweep_throughput_schema_version": SWEEP_THROUGHPUT_SCHEMA_VERSION,
+        "apps": list(config.apps),
+        "schemes": list(config.schemes),
+        "requests_per_app": requests,
+        "jobs": 2,
+        "total_jobs": n_jobs,
+        "pairs": pairs,
+        "all_identical": all_identical,
+    }
+
+
+# ----------------------------------------------------------------------
 # Benchmark history trajectory
 # ----------------------------------------------------------------------
 
 #: Version of one BENCH_history.json entry's layout; bump on
 #: incompatible changes so trajectory consumers can filter.
-HISTORY_SCHEMA_VERSION = 1
+#: v2: adds the sweep backend-pair throughput fields.
+HISTORY_SCHEMA_VERSION = 2
 
 
 def history_entry(report: Dict) -> Dict:
@@ -444,10 +523,15 @@ def history_entry(report: Dict) -> Dict:
         "serve_req_per_s": report["serve_throughput"]["serve_req_per_s"],
         "serve_overhead_ratio":
             report["serve_throughput"]["serve_overhead_ratio"],
+        "sweep_jobs_per_s": {
+            pair: stats["jobs_per_s"]
+            for pair, stats in report["sweep_throughput"]["pairs"].items()},
         "grids_identical": grid["grids_identical"],
         "roster_identical": report["roster_parity"]["identical"],
         "loopback_parity":
             report["serve_throughput"]["loopback_parity"],
+        "sweep_backends_identical":
+            report["sweep_throughput"]["all_identical"],
         "platform": report["platform"],
         "python": report["python"],
     }
@@ -532,11 +616,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace_records = 20000 if args.quick else 200000
     roster_requests = min(requests, 2000)
 
+    sweep_requests = min(requests, 1000 if args.quick else 2000)
+
     grid = bench_grid(requests, rounds)
     roster = bench_roster_parity(roster_requests)
     long_trace = bench_long_trace(trace_records, max(rounds, 3))
     kernels = bench_kernels(kernel_ops, kernel_repeats)
     serve = bench_serve_throughput(roster_requests)
+    sweep = bench_sweep_backends(sweep_requests)
 
     report = {
         "benchmark": "simulator-performance",
@@ -545,6 +632,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "long_trace": long_trace,
         "kernels": kernels,
         "serve_throughput": serve,
+        "sweep_throughput": sweep,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "quick": bool(args.quick),
@@ -572,7 +660,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"identical={long_trace['roundtrip_identical']}; "
           f"serve {serve['serve_req_per_s']:.0f} req/s "
           f"({serve['serve_overhead_ratio']:.2f}x direct), "
-          f"parity={serve['loopback_parity']}", file=sys.stderr)
+          f"parity={serve['loopback_parity']}; "
+          f"sweep backends identical={sweep['all_identical']}",
+          file=sys.stderr)
     failed = False
     if not grid["grids_identical"]:
         print("FAIL: a fast-path grid diverges from the reference grid",
@@ -585,6 +675,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not long_trace["roundtrip_identical"]:
         print("FAIL: long-trace round trip not identical between modes",
               file=sys.stderr)
+        failed = True
+    if not sweep["all_identical"]:
+        diverged = [pair for pair, stats in sweep["pairs"].items()
+                    if not stats["identical"]]
+        print(f"FAIL: sweep backend pair(s) diverge from the serial "
+              f"reference: {', '.join(diverged)}", file=sys.stderr)
         failed = True
     return 2 if failed else 0
 

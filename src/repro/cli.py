@@ -196,6 +196,34 @@ def _parse_sweep_schemes(token: str) -> List[str]:
     return list(dict.fromkeys(schemes))
 
 
+def _resolve_execution_backend(args):
+    """Validate ``--backend`` and build the configured backend.
+
+    Unknown names exit listing the registered backends (same style as the
+    unknown-scheme errors), before any simulation has run.
+    """
+    from .sweep import execution_backend_names, make_execution_backend
+
+    if args.backend not in execution_backend_names():
+        raise SystemExit(
+            f"unknown execution backend {args.backend!r}; registered "
+            f"backends: {', '.join(execution_backend_names())}")
+    if args.backend == "queue":
+        return make_execution_backend("queue", lease_s=args.lease)
+    return args.backend
+
+
+def _resolve_storage_name(storage):
+    """Validate ``--storage`` (``None`` means infer from the store spec)."""
+    from .sweep import storage_backend_names
+
+    if storage is not None and storage not in storage_backend_names():
+        raise SystemExit(
+            f"unknown storage backend {storage!r}; registered backends: "
+            f"{', '.join(storage_backend_names())}")
+    return storage
+
+
 def cmd_sweep(args) -> int:
     """Orchestrated parallel grid run with a persistent result store."""
     from .sim.export import write_json
@@ -215,6 +243,15 @@ def cmd_sweep(args) -> int:
         raise SystemExit("--timeout must be positive")
     if args.retries < 0:
         raise SystemExit("--retries must be non-negative")
+    if args.lease <= 0:
+        raise SystemExit("--lease must be positive")
+    # Backend names are validated up front (before any simulation) and the
+    # error lists what IS registered, mirroring the unknown-scheme errors.
+    backend = _resolve_execution_backend(args)
+    storage = _resolve_storage_name(args.storage)
+    if args.backend == "queue" and args.store is None:
+        raise SystemExit("--backend queue needs --store (workers coordinate "
+                         "through the shared result store)")
     apps = _parse_sweep_apps(args.apps)
     schemes = _parse_sweep_schemes(args.schemes)
     config = ExperimentConfig(apps=apps, schemes=schemes,
@@ -223,7 +260,8 @@ def cmd_sweep(args) -> int:
     try:
         grid = run_sweep(config, jobs=args.jobs, store=args.store,
                          job_timeout_s=args.timeout, retries=args.retries,
-                         progress=not args.quiet)
+                         progress=not args.quiet, backend=backend,
+                         storage=storage)
     except SweepError as exc:
         raise SystemExit(f"sweep failed: {exc}")
 
@@ -238,6 +276,39 @@ def cmd_sweep(args) -> int:
     if args.export:
         write_json(grid, args.export)
         print(f"wrote grid JSON to {args.export}")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Serve a shared result store's work queue until it drains.
+
+    Any number of workers — across processes and hosts sharing the store
+    — can serve one sweep; the lease protocol guarantees each job is
+    claimed by exactly one live worker at a time, and jobs of workers
+    that die are reclaimed after their lease expires.
+    """
+    from .sweep import worker_loop
+
+    if args.lease <= 0:
+        raise SystemExit("--lease must be positive")
+    if args.poll <= 0:
+        raise SystemExit("--poll must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be non-negative")
+    if args.max_jobs is not None and args.max_jobs <= 0:
+        raise SystemExit("--max-jobs must be positive")
+    _resolve_storage_name(args.storage)
+    log = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True))
+    try:
+        completed = worker_loop(
+            args.store, storage=args.storage, worker_id=args.worker_id,
+            lease_s=args.lease, poll_s=args.poll, retries=args.retries,
+            max_jobs=args.max_jobs, wait=args.wait, log=log)
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"worker done: {completed} job(s) completed")
     return 0
 
 
@@ -401,8 +472,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: cpu count)")
     sweep_p.add_argument("--store", default=None,
-                         help="result-store directory; re-runs resume from "
-                              "it (cache hit = no simulation)")
+                         help="result store: a directory, a .sqlite/.db "
+                              "path, or sqlite://<path>; re-runs resume "
+                              "from it (cache hit = no simulation)")
+    sweep_p.add_argument("--backend", default="pool",
+                         help="execution backend: pool (local process "
+                              "pool) or queue (lease-based work queue "
+                              "shared with 'repro worker' processes)")
+    sweep_p.add_argument("--storage", default=None,
+                         help="storage backend: dir or sqlite (default: "
+                              "inferred from --store)")
+    sweep_p.add_argument("--lease", type=float, default=15.0,
+                         help="queue backend: lease TTL in seconds before "
+                              "a dead worker's job is reclaimed")
     sweep_p.add_argument("--timeout", type=float, default=600.0,
                          help="per-job wall-clock budget in seconds")
     sweep_p.add_argument("--retries", type=int, default=2,
@@ -414,6 +496,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress live progress lines")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    worker_p = sub.add_parser(
+        "worker", help="serve a shared result store's sweep work queue")
+    worker_p.add_argument("--store", required=True,
+                          help="shared result store: a directory, a "
+                               ".sqlite/.db path, or sqlite://<path>")
+    worker_p.add_argument("--storage", default=None,
+                          help="storage backend: dir or sqlite (default: "
+                               "inferred from --store)")
+    worker_p.add_argument("--worker-id", default=None,
+                          help="lease-ownership identity (default: "
+                               "host-pid-random)")
+    worker_p.add_argument("--lease", type=float, default=15.0,
+                          help="lease TTL in seconds (renewed at TTL/3)")
+    worker_p.add_argument("--poll", type=float, default=0.25,
+                          help="queue scan backoff in seconds")
+    worker_p.add_argument("--retries", type=int, default=2,
+                          help="extra attempts per job before its failure "
+                               "is recorded")
+    worker_p.add_argument("--max-jobs", type=int, default=None,
+                          help="stop after completing this many jobs")
+    worker_p.add_argument("--wait", action="store_true",
+                          help="keep polling after the queue drains "
+                               "(serve sweeps that arrive later)")
+    worker_p.add_argument("--quiet", action="store_true",
+                          help="suppress per-job progress lines")
+    worker_p.set_defaults(func=cmd_worker)
 
     def add_obs_common(p):
         add_common(p)

@@ -100,7 +100,9 @@ def run_grid(config: Optional[ExperimentConfig] = None, *,
              parallel: bool = False,
              jobs: Optional[int] = None,
              store=None,
-             progress: bool = False) -> ResultGrid:
+             progress: bool = False,
+             backend=None,
+             storage: Optional[str] = None) -> ResultGrid:
     """Run the full (apps x schemes) grid of an experiment config.
 
     Configuration default: the grid's ``ExperimentConfig`` defaults to
@@ -117,14 +119,19 @@ def run_grid(config: Optional[ExperimentConfig] = None, *,
     Args:
         parallel: route through the sweep scheduler.
         jobs: worker processes (implies ``parallel``); default cpu count.
-        store: result-store directory or ``ResultStore`` (implies
+        store: result-store path/URL or ``ResultStore`` (implies
             ``parallel``); ``None`` runs without persistence.
         progress: emit live progress lines (parallel path only).
+        backend: sweep execution backend name or instance (``"pool"`` /
+            ``"queue"``; implies ``parallel``).
+        storage: storage backend name forced for a string ``store`` spec.
     """
     config = config or ExperimentConfig()
-    if parallel or jobs is not None or store is not None:
+    if parallel or jobs is not None or store is not None \
+            or backend is not None:
         from ..sweep import run_sweep  # local import: sweep imports runner
-        return run_sweep(config, jobs=jobs, store=store, progress=progress)
+        return run_sweep(config, jobs=jobs, store=store, progress=progress,
+                         backend=backend, storage=storage)
     grid: ResultGrid = {}
     for app in config.apps:
         per_app = run_app(app, config.schemes,

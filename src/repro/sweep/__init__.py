@@ -1,4 +1,4 @@
-"""Parallel experiment orchestration: scheduler, result store, progress.
+"""Parallel experiment orchestration: scheduler, backends, store, progress.
 
 The paper's evaluation is a (20 applications) x (4 schemes) grid; replaying
 it serially is the slowest path in the repo and re-simulates cells every
@@ -6,32 +6,68 @@ run.  This subsystem turns the grid into content-addressed jobs:
 
 * :class:`JobSpec` — one (app, scheme) cell with a stable content hash
   over every input that affects its result.
-* :class:`Scheduler` — fans jobs out over a process pool, shares one
-  generated trace per application, retries crashed workers, and enforces
-  per-job timeouts.
-* :class:`ResultStore` — persists full-fidelity results keyed by job hash,
-  so re-runs and interrupted sweeps resume instantly.
+* :class:`Scheduler` — cache pass, shared trace seeding, manifest; hands
+  cache misses to a pluggable execution backend.
+* :class:`ProcessPoolBackend` / :class:`WorkQueueBackend` — how misses
+  execute: a local process pool with retries and timeouts, or a
+  lease-based distributed work queue any number of ``repro worker``
+  processes can serve through the shared store.
+* :class:`ResultStore` — persists full-fidelity results keyed by job
+  hash, over a pluggable :class:`StorageBackend` (JSON directory or a
+  single concurrent-safe SQLite file), so re-runs and interrupted sweeps
+  resume instantly.
 * :class:`ProgressReporter` — live completed/failed/ETA lines plus a
   machine-readable sweep manifest.
 
 Entry points: :func:`run_sweep` (library),
-``python -m repro.cli sweep`` (command line), and
-``run_grid(..., jobs=..., store=...)`` (drop-in parallel path for existing
-callers).
+``python -m repro.cli sweep`` / ``python -m repro.cli worker`` (command
+line), and ``run_grid(..., jobs=..., store=...)`` (drop-in parallel path
+for existing callers).
 """
 
-from .job import SWEEP_SCHEMA_VERSION, JobSpec, jobs_from_experiment
+from .backends import (
+    ExecutionBackend,
+    ExecutionContext,
+    ProcessPoolBackend,
+    WorkQueueBackend,
+    execution_backend_names,
+    make_execution_backend,
+)
+from .job import (
+    SWEEP_SCHEMA_VERSION,
+    JobSpec,
+    jobs_from_experiment,
+    spec_from_payload,
+    spec_to_payload,
+)
+from .obs import SweepMetrics
 from .progress import (
     STATUS_CACHED,
     STATUS_FAILED,
     STATUS_SIMULATED,
     ProgressReporter,
 )
-from .scheduler import Scheduler, execute_job, run_sweep
-from .store import ResultStore, job_meta
+from .scheduler import Scheduler, run_sweep
+from .storage import (
+    DirStorageBackend,
+    LeaseClaim,
+    SqliteStorageBackend,
+    StorageBackend,
+    fsync_atomic_write,
+    make_storage_backend,
+    parse_store_spec,
+    storage_backend_names,
+)
+from .store import ResultStore, job_meta, migrate_store, open_store
+from .worker import default_worker_id, execute_job, worker_loop
 
 __all__ = [
+    "DirStorageBackend",
+    "ExecutionBackend",
+    "ExecutionContext",
     "JobSpec",
+    "LeaseClaim",
+    "ProcessPoolBackend",
     "ProgressReporter",
     "ResultStore",
     "STATUS_CACHED",
@@ -39,8 +75,23 @@ __all__ = [
     "STATUS_SIMULATED",
     "SWEEP_SCHEMA_VERSION",
     "Scheduler",
+    "SqliteStorageBackend",
+    "StorageBackend",
+    "SweepMetrics",
+    "WorkQueueBackend",
+    "default_worker_id",
     "execute_job",
+    "execution_backend_names",
+    "fsync_atomic_write",
     "job_meta",
     "jobs_from_experiment",
-    "run_sweep",
+    "make_execution_backend",
+    "make_storage_backend",
+    "migrate_store",
+    "open_store",
+    "parse_store_spec",
+    "spec_from_payload",
+    "spec_to_payload",
+    "storage_backend_names",
+    "worker_loop",
 ]

@@ -1,0 +1,82 @@
+"""Distributed-sweep observability (:mod:`repro.obs` registry wiring).
+
+The work-queue execution backend keeps a sweep-lifetime
+:class:`~repro.obs.metrics.MetricsRegistry` describing the *fleet*, not
+any single simulation: how many workers are alive, how many leases had
+to be reclaimed from dead workers, and what each worker's throughput
+looks like.  The coordinator snapshots this registry into the sweep
+manifest, so a finished (or interrupted) distributed run leaves a
+machine-readable record of its execution health next to the results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["SweepMetrics"]
+
+
+class SweepMetrics:
+    """Instruments of one distributed sweep.
+
+    Gauges track the instantaneous fleet state (live workers, queue
+    depth, per-worker throughput), counters the cumulative protocol
+    events (jobs completed per worker, leases reclaimed from dead
+    workers, local worker respawns).
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.workers_alive = self.registry.gauge("sweep_workers_alive")
+        self.queue_depth = self.registry.gauge("sweep_queue_depth")
+        self.lease_reclaims = self.registry.counter(
+            "sweep_lease_reclaims_total")
+        self.worker_respawns = self.registry.counter(
+            "sweep_worker_respawns_total")
+        self._reclaims_seen = 0
+        self._started_s: Optional[float] = None
+        self._jobs_per_worker: Dict[str, int] = {}
+
+    def start(self) -> None:
+        self._started_s = time.monotonic()
+
+    def jobs_completed(self, worker: str):
+        """Per-worker completed-job counter."""
+        return self.registry.counter("sweep_jobs_completed_total",
+                                     worker=worker)
+
+    def worker_throughput(self, worker: str):
+        """Per-worker jobs/sec gauge (over the sweep's lifetime)."""
+        return self.registry.gauge("sweep_worker_throughput_jobs_per_s",
+                                   worker=worker)
+
+    def record_completion(self, worker: str, duration_s: float) -> None:
+        """Record one completed job and refresh the worker's throughput."""
+        self.jobs_completed(worker).inc()
+        self._jobs_per_worker[worker] = \
+            self._jobs_per_worker.get(worker, 0) + 1
+        elapsed = (time.monotonic() - self._started_s) \
+            if self._started_s is not None else None
+        if elapsed and elapsed > 0:
+            self.worker_throughput(worker).set(
+                self._jobs_per_worker[worker] / elapsed)
+
+    def sync_reclaims(self, store_reclaim_count: int) -> None:
+        """Fold the store's monotone reclaim count into the counter.
+
+        The store is the source of truth (any worker may reclaim a
+        lease); the counter advances by the delta since the last sync so
+        repeated polling never double-counts.
+        """
+        delta = store_reclaim_count - self._reclaims_seen
+        if delta > 0:
+            self.lease_reclaims.inc(delta)
+            self._reclaims_seen = store_reclaim_count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The manifest's ``obs`` payload: rows plus the flat view."""
+        return {"metrics": self.registry.snapshot(),
+                "flat": self.registry.as_flat()}

@@ -60,8 +60,14 @@ class ProgressReporter:
 
     def job_done(self, spec: JobSpec, status: str, *,
                  attempts: int = 1, duration_s: float = 0.0,
-                 error: Optional[str] = None) -> None:
-        """Record one job reaching a terminal state."""
+                 error: Optional[str] = None,
+                 worker: Optional[str] = None) -> None:
+        """Record one job reaching a terminal state.
+
+        ``worker`` identifies which distributed worker completed the job
+        (work-queue backend); pool/serial runs leave it unset and the
+        manifest row shape is unchanged for them.
+        """
         if status == STATUS_CACHED:
             self.cached += 1
         elif status == STATUS_SIMULATED:
@@ -70,7 +76,7 @@ class ProgressReporter:
             self.failed += 1
         else:
             raise ValueError(f"unknown job status {status!r}")
-        self._rows.append({
+        row = {
             "app": spec.app,
             "scheme": spec.scheme,
             "digest": spec.digest(),
@@ -78,7 +84,10 @@ class ProgressReporter:
             "attempts": attempts,
             "duration_s": round(duration_s, 6),
             "error": error,
-        })
+        }
+        if worker is not None:
+            row["worker"] = worker
+        self._rows.append(row)
         self._emit(force=(status == STATUS_FAILED))
 
     def job_retry(self, spec: JobSpec, attempt: int, error: str) -> None:

@@ -1,108 +1,76 @@
-"""Worker-pool scheduler that fans an experiment grid out over processes.
+"""Sweep scheduler: cache pass, trace seeding, backend dispatch, manifest.
 
 Execution model:
 
 * Jobs are first checked against the :class:`~repro.sweep.store.ResultStore`
   — a hit skips simulation entirely, which is what makes interrupted sweeps
   resumable and repeat sweeps (new figures over the same grid) free.
-* One trace per application is generated once in the parent and shared on
-  disk; scheme jobs replay it, preserving the paper's paired-trace
-  methodology and the serial runner's exact request streams.
-* Misses run on a ``ProcessPoolExecutor`` (``jobs`` workers, default
-  ``os.cpu_count()``).  A crashed or timed-out worker fails only the jobs it
-  was running; those jobs are resubmitted on a fresh pool up to ``retries``
-  extra attempts before the sweep raises :class:`~repro.common.errors.SweepError`.
-* ``jobs=1`` bypasses the pool and runs in-process (no fork overhead, and
-  exceptions surface with full tracebacks) while still using the store.
+* One trace per application is generated once in the parent and shared
+  through the store; scheme jobs replay it, preserving the paper's
+  paired-trace methodology and the serial runner's exact request streams.
+* Misses are handed to a pluggable
+  :class:`~repro.sweep.backends.ExecutionBackend`:
+
+  - ``pool`` (default): a ``ProcessPoolExecutor`` fan-out (``jobs``
+    workers, default ``os.cpu_count()``).  A crashed or timed-out worker
+    fails only the jobs it was running; those jobs are resubmitted on a
+    fresh pool up to ``retries`` extra attempts before the sweep raises
+    :class:`~repro.common.errors.SweepError`.  ``jobs=1`` bypasses the
+    pool and runs in-process (no fork overhead, and exceptions surface
+    with full tracebacks) while still using the store.
+  - ``queue``: lease-based distributed execution through the shared
+    store's work queue — local worker processes plus any external
+    ``repro worker`` processes pointed at the same store.
+
 * ``KeyboardInterrupt`` is a clean shutdown, not a crash: worker processes
   are terminated, the manifest is written with ``interrupted: true``, and
   the signal propagates.  Completed cells were already flushed atomically,
   so a re-invocation resumes from them.
 
 Determinism: every scheme run seeds its own RNGs from its configuration and
-consumes a replayed trace, so cell results are independent of worker count
-and scheduling order — the parallel grid is byte-identical to a serial
-:func:`~repro.sim.runner.run_grid`.
+consumes a replayed trace, so cell results are independent of worker count,
+execution backend, and scheduling order — the parallel (or distributed)
+grid is byte-identical to a serial :func:`~repro.sim.runner.run_grid`.
 """
 
 from __future__ import annotations
 
-import math
 import os
 import tempfile
-import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from concurrent.futures import as_completed
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from ..common.errors import SweepError
-from ..perf import reset_caches as reset_fastpath_caches
 from ..sim.metrics import SimulationResult
-from ..sim.runner import run_app
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import get_profile
-from ..workloads.trace import read_trace_list
-from .job import JobSpec, jobs_from_experiment
-from .progress import (
-    STATUS_CACHED,
-    STATUS_FAILED,
-    STATUS_SIMULATED,
-    ProgressReporter,
+from .backends import (
+    ExecutionBackend,
+    ExecutionContext,
+    make_execution_backend,
 )
-from .store import ResultStore, job_meta
+from .job import JobSpec, jobs_from_experiment
+from .progress import STATUS_CACHED, ProgressReporter
+from .store import ResultStore, open_store
+from .worker import execute_job
 
-
-#: Per-process memo of recently parsed traces.  Pool workers serve many
-#: jobs; scheme jobs of the same application share a trace file, so keeping
-#: the last few parsed streams in the worker avoids re-deserializing 64-byte
-#: payload records for every cell.  Bounded to stay small under the
-#: many-apps case.
-_TRACE_MEMO: "Dict[str, list]" = {}
-_TRACE_MEMO_CAP = 4
-
-
-def _load_trace(trace_path: str) -> list:
-    trace = _TRACE_MEMO.get(trace_path)
-    if trace is None:
-        trace = read_trace_list(trace_path)
-        while len(_TRACE_MEMO) >= _TRACE_MEMO_CAP:
-            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
-        _TRACE_MEMO[trace_path] = trace
-    return trace
-
-
-def execute_job(spec: JobSpec, trace_path: str) -> SimulationResult:
-    """Run one grid cell; the worker-side entry point (must be picklable).
-
-    Deliberately funnels through :func:`~repro.sim.runner.run_app` so the
-    orchestrated path exercises the exact code the serial runner does.
-
-    Kernel-cache lifecycle: ``SimulationEngine.run`` resets the
-    :mod:`repro.perf` memo caches at the start of every run, but a pool
-    worker serves many jobs, so reset here too — worker-side kernel-cache
-    state is then provably independent of job scheduling order, and cached
-    results (including the exported ``memo_*`` statistics) stay
-    byte-identical to a serial run.
-    """
-    reset_fastpath_caches()
-    trace = _load_trace(trace_path)
-    results = run_app(spec.app, [spec.scheme], requests=spec.requests,
-                      system=spec.system, engine=spec.engine,
-                      costs=spec.costs, seed=spec.seed, trace=trace)
-    return results[spec.scheme]
+__all__ = ["Scheduler", "execute_job", "run_sweep"]
 
 
 class Scheduler:
-    """Orchestrates a set of :class:`JobSpec` over a process pool.
+    """Orchestrates a set of :class:`JobSpec` over an execution backend.
 
     Args:
         store: result store to consult/populate; ``None`` uses a temporary
             store discarded after the run (parallelism without persistence).
-        jobs: worker processes (default ``os.cpu_count()``; 1 = in-process).
+        jobs: worker processes (default ``os.cpu_count()``; 1 = in-process
+            for the pool backend).
         job_timeout_s: wall-clock budget per job; a round of jobs that
             exceeds its aggregate budget is torn down and retried.
         retries: extra attempts per job after a crash/timeout/exception.
         reporter: progress sink; ``None`` builds a silent one.
+        backend: execution backend — a registered name (``"pool"``,
+            ``"queue"``) or an :class:`ExecutionBackend` instance;
+            ``None`` means the original pool semantics.
         worker: job-execution callable, injectable for tests; must be a
             module-level (picklable) function with ``execute_job``'s
             signature.
@@ -113,6 +81,7 @@ class Scheduler:
                  job_timeout_s: float = 600.0,
                  retries: int = 2,
                  reporter: Optional[ProgressReporter] = None,
+                 backend: Union[str, ExecutionBackend, None] = None,
                  worker: Callable[[JobSpec, str], SimulationResult] = execute_job) -> None:
         if jobs is not None and jobs <= 0:
             raise ValueError("jobs must be positive")
@@ -125,6 +94,10 @@ class Scheduler:
         self.job_timeout_s = job_timeout_s
         self.retries = retries
         self.reporter = reporter
+        if backend is None:
+            backend = "pool"
+        self.backend = (make_execution_backend(backend)
+                        if isinstance(backend, str) else backend)
         self._worker = worker
 
     # ------------------------------------------------------------------
@@ -148,7 +121,7 @@ class Scheduler:
                         ) -> Dict[Tuple[str, str], SimulationResult]:
         results: Dict[Tuple[str, str], SimulationResult] = {}
         digests = {spec: spec.digest() for spec in specs}
-        pending: List[JobSpec] = []
+        pending: list = []
         for spec in specs:
             if spec.key in results:
                 raise SweepError(f"duplicate grid cell {spec.key}")
@@ -160,33 +133,30 @@ class Scheduler:
                 pending.append(spec)
 
         trace_paths = self._ensure_traces(pending, store)
+        ctx = ExecutionContext(
+            pending=pending, trace_paths=trace_paths, digests=digests,
+            store=store, reporter=reporter, results=results,
+            worker=self._worker, jobs=self.jobs,
+            job_timeout_s=self.job_timeout_s, retries=self.retries)
 
         try:
             if pending:
-                if self.jobs == 1:
-                    self._run_serial(pending, trace_paths, digests, store,
-                                     reporter, results)
-                else:
-                    self._run_pool(pending, trace_paths, digests, store,
-                                   reporter, results)
+                self.backend.execute(ctx)
         except KeyboardInterrupt:
             # Graceful Ctrl-C: completed rows were already flushed
-            # atomically by _record, so the store is consistent; mark the
-            # manifest interrupted and let the signal propagate.  A
-            # re-invocation resumes from the finished cells.
+            # atomically, so the store is consistent; mark the manifest
+            # interrupted and let the signal propagate.  A re-invocation
+            # resumes from the finished cells.
             reporter.finish()
-            manifest = reporter.manifest()
-            manifest["jobs_flag"] = self.jobs
+            manifest = self._manifest(reporter)
             manifest["interrupted"] = True
             if self.store is not None:
                 store.write_manifest(manifest)
             raise
 
         reporter.finish()
-        manifest = reporter.manifest()
-        manifest["jobs_flag"] = self.jobs
         if self.store is not None:
-            store.write_manifest(manifest)
+            store.write_manifest(self._manifest(reporter))
 
         failed = [spec for spec in specs if spec.key not in results]
         if failed:
@@ -195,6 +165,19 @@ class Scheduler:
                 f"{len(failed)} job(s) failed after {self.retries + 1} "
                 f"attempt(s): {detail}")
         return {spec.key: results[spec.key] for spec in specs}
+
+    def _manifest(self, reporter: ProgressReporter) -> Dict:
+        manifest = reporter.manifest()
+        manifest["jobs_flag"] = self.jobs
+        manifest["backend"] = self.backend.name
+        if self.store is not None:
+            manifest["storage"] = self.store.backend.name
+        if self.backend.metrics is not None:
+            # Fleet-health observability (worker liveness, lease
+            # reclaims, per-worker throughput) rides in the manifest so
+            # a distributed run leaves an auditable execution record.
+            manifest["obs"] = self.backend.metrics.snapshot()
+        return manifest
 
     def _ensure_traces(self, pending: Sequence[JobSpec],
                        store: ResultStore) -> Dict[str, str]:
@@ -213,122 +196,6 @@ class Scheduler:
                                                           generate))
         return paths
 
-    # ------------------------------------------------------------------
-    # Execution backends
-    # ------------------------------------------------------------------
-
-    def _run_serial(self, pending, trace_paths, digests, store, reporter,
-                    results) -> None:
-        for spec in pending:
-            attempts = 0
-            while True:
-                attempts += 1
-                started = time.monotonic()
-                try:
-                    result = self._worker(spec, trace_paths[spec.trace_id])
-                except Exception as exc:
-                    if attempts <= self.retries:
-                        reporter.job_retry(spec, attempts, repr(exc))
-                        continue
-                    reporter.job_done(spec, STATUS_FAILED, attempts=attempts,
-                                      duration_s=time.monotonic() - started,
-                                      error=repr(exc))
-                    break
-                self._record(spec, result, digests, store, reporter,
-                             results, attempts,
-                             time.monotonic() - started)
-                break
-
-    def _run_pool(self, pending, trace_paths, digests, store, reporter,
-                  results) -> None:
-        attempts: Dict[str, int] = {digests[spec]: 0 for spec in pending}
-        remaining = list(pending)
-        while remaining:
-            batch, remaining = remaining, []
-            workers = min(self.jobs, len(batch))
-            # Aggregate wall budget for the round: each worker slot gets the
-            # per-job timeout for every job it may serve.
-            budget = self.job_timeout_s * math.ceil(len(batch) / workers)
-            started = {}
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for spec in batch:
-                    started[digests[spec]] = time.monotonic()
-                    futures[pool.submit(self._worker, spec,
-                                        trace_paths[spec.trace_id])] = spec
-                timed_out = False
-                try:
-                    for future in as_completed(futures, timeout=budget):
-                        spec = futures.pop(future)
-                        digest = digests[spec]
-                        attempts[digest] += 1
-                        duration = time.monotonic() - started[digest]
-                        try:
-                            result = future.result()
-                        except Exception as exc:
-                            if attempts[digest] <= self.retries:
-                                reporter.job_retry(spec, attempts[digest],
-                                                   repr(exc))
-                                remaining.append(spec)
-                            else:
-                                reporter.job_done(
-                                    spec, STATUS_FAILED,
-                                    attempts=attempts[digest],
-                                    duration_s=duration, error=repr(exc))
-                        else:
-                            self._record(spec, result, digests, store,
-                                         reporter, results,
-                                         attempts[digest], duration)
-                except FutureTimeout:
-                    timed_out = True
-                except KeyboardInterrupt:
-                    # Ctrl-C mid-round: in-flight cells are abandoned (they
-                    # can re-run on resume).  Force-stop the round's worker
-                    # processes before the executor's final join — without
-                    # this, the ``with`` block's shutdown(wait=True) hangs
-                    # on busy workers and a second Ctrl-C is required.
-                    for proc in list((getattr(pool, "_processes", None)
-                                      or {}).values()):
-                        proc.terminate()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-                if timed_out:
-                    # Tear the round down; unfinished jobs burn one attempt.
-                    # A hung worker would otherwise block the executor's
-                    # final join forever, so force-stop the round's
-                    # processes before shutting the pool down.
-                    for proc in list((getattr(pool, "_processes", None)
-                                      or {}).values()):
-                        proc.terminate()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    for future, spec in futures.items():
-                        digest = digests[spec]
-                        attempts[digest] += 1
-                        duration = time.monotonic() - started[digest]
-                        err = (f"timeout after {self.job_timeout_s:.0f}s/job "
-                               f"round budget")
-                        if attempts[digest] <= self.retries:
-                            reporter.job_retry(spec, attempts[digest], err)
-                            remaining.append(spec)
-                        else:
-                            reporter.job_done(spec, STATUS_FAILED,
-                                              attempts=attempts[digest],
-                                              duration_s=duration,
-                                              error=err)
-
-    def _record(self, spec, result, digests, store, reporter, results,
-                attempts: int, duration: float) -> None:
-        store.put(digests[spec], result, job=job_meta(spec))
-        if result.obs is not None:
-            # Observability reports live beside the result rows (store
-            # ``obs/`` directory) — they are diagnostic artifacts, not part
-            # of a cell's cache identity, so result digests stay stable
-            # whether or not a run carried instrumentation.
-            store.put_obs(digests[spec], result.obs)
-        results[spec.key] = result
-        reporter.job_done(spec, STATUS_SIMULATED, attempts=attempts,
-                          duration_s=duration)
-
 
 def run_sweep(config=None, *,
               jobs: Optional[int] = None,
@@ -336,16 +203,22 @@ def run_sweep(config=None, *,
               job_timeout_s: float = 600.0,
               retries: int = 2,
               progress: bool = False,
-              reporter: Optional[ProgressReporter] = None):
+              reporter: Optional[ProgressReporter] = None,
+              backend: Union[str, ExecutionBackend, None] = None,
+              storage: Optional[str] = None):
     """Orchestrated equivalent of :func:`repro.sim.runner.run_grid`.
 
     Args:
         config: an :class:`~repro.sim.runner.ExperimentConfig` (defaults to
             the full paper grid, identical to ``run_grid()``).
         jobs: worker processes (default ``os.cpu_count()``).
-        store: result-store directory (created on demand) or a
+        store: result-store path/URL (created on demand) or a
             :class:`ResultStore`; ``None`` runs without persistence.
         progress: emit live progress lines to stderr.
+        backend: execution backend name or instance (default ``"pool"``).
+        storage: storage backend name forced when ``store`` is a string
+            spec (default: inferred from the spec; see
+            :func:`repro.sweep.store.open_store`).
 
     Returns:
         A :data:`~repro.sim.runner.ResultGrid` byte-identical to the serial
@@ -355,9 +228,10 @@ def run_sweep(config=None, *,
     config = config or ExperimentConfig()
     specs = jobs_from_experiment(config)
     if isinstance(store, (str, os.PathLike)):
-        store = ResultStore(store)
+        store = open_store(store, storage)
     if reporter is None:
         reporter = ProgressReporter(len(specs), enabled=progress)
     scheduler = Scheduler(store, jobs=jobs, job_timeout_s=job_timeout_s,
-                          retries=retries, reporter=reporter)
+                          retries=retries, reporter=reporter,
+                          backend=backend)
     return scheduler.run(specs)
