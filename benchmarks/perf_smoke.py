@@ -26,6 +26,11 @@ sections:
 * **serve_throughput** — requests/sec streaming one trace through the
   :mod:`repro.serve` loopback server vs the same trace run directly
   (report-only; the serve parity hard gate is ``serve_smoke.py``).
+* **serve_mp_throughput** — the multi-process serve back end: the full
+  scheme roster served through a 3-worker pool with full bit-exactness
+  gated, plus aggregate multi-tenant req/s at ``workers=1`` vs
+  ``workers=4`` (report-only — the scaling ratio is meaningful only on
+  hosts with ≥ 4 free cores; ``cpu_count`` is recorded alongside).
 * **sweep_throughput** — jobs/sec for every (execution, storage) backend
   pair of the sweep layer (pool/queue x dir/sqlite).  Timings are
   report-only; each pair's byte-identity to the serial reference grid
@@ -418,6 +423,138 @@ def bench_serve_throughput(requests: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Multi-process serve: roster parity + scaling
+# ----------------------------------------------------------------------
+
+#: Version of the ``serve_mp_throughput`` section's layout; bump on
+#: incompatible changes so trajectory consumers can filter.
+SERVE_MP_SCHEMA_VERSION = 1
+
+#: Worker count of the parity pass (matches the CI serve-mp job).
+SERVE_MP_PARITY_WORKERS = 3
+
+#: Tenants (each pinned to a distinct worker) and pool size of the
+#: scaling comparison.
+SERVE_MP_TENANTS = 4
+
+
+def bench_serve_mp(requests: int) -> Dict:
+    """Multi-process serve back end: roster parity (gated) + scaling.
+
+    **Parity (hard gate).**  Every registered scheme's trace is served
+    through a ``workers=3`` pool, each scheme under its own tenant so
+    sessions spread across workers by the affinity hash.  Sessions run
+    sequentially and each worker resets its process-global caches at
+    session open, so the served state must be *full* bit-exact against
+    a direct run — including the memo statistics the threaded
+    concurrent-parity check has to exclude.
+
+    **Scaling (report-only).**  Four tenants pinned to four distinct
+    workers stream the same trace concurrently; aggregate req/s is
+    timed at ``workers=1`` (the in-process engine lock) and
+    ``workers=4``.  Like every timing here the ratio is recorded, not
+    gated: it only shows parallel speedup when the host actually has
+    ≥ 4 free cores — on 1-2 core CI containers it honestly records the
+    IPC overhead instead (``cpu_count`` rides along so trajectory
+    consumers can tell which regime a point came from).
+    """
+    import os
+    import threading
+
+    from repro.registry import make_scheme
+    from repro.serve import BackgroundServer, ServeClient, ServeConfig
+    from repro.serve.pool import worker_for_tenant
+    from repro.sim.engine import EngineConfig, SimulationEngine
+    from repro.sim.export import result_to_state
+
+    app = GRID_APPS[0]
+    trace = TraceGenerator(get_profile(app),
+                           seed=GRID_SEED).generate_list(requests)
+
+    roster = list(registered_scheme_names())
+    direct_states = {}
+    for scheme in roster:
+        engine = SimulationEngine(
+            make_scheme(scheme, scaled_system_config()), EngineConfig())
+        direct_states[scheme] = result_to_state(
+            engine.run(iter(trace), app=app, total_hint=len(trace)))
+
+    parity: Dict[str, bool] = {}
+    with BackgroundServer(
+            ServeConfig(workers=SERVE_MP_PARITY_WORKERS)) as server:
+        for scheme in roster:
+            with ServeClient("127.0.0.1", server.port) as client:
+                payload = client.run_trace(
+                    iter(trace), scheme, tenant=f"parity-{scheme}",
+                    app=app, total_hint=len(trace))
+            parity[scheme] = payload["state"] == direct_states[scheme]
+    all_parity = all(parity.values()) and bool(server.drained_clean)
+
+    def _pinned_tenant(worker: int, workers: int) -> str:
+        for i in range(10_000):
+            tenant = f"bench-{worker}-{i}"
+            if worker_for_tenant(tenant, workers) == worker:
+                return tenant
+        raise AssertionError("no tenant found for worker")
+
+    tenants = [_pinned_tenant(w, SERVE_MP_TENANTS)
+               for w in range(SERVE_MP_TENANTS)]
+
+    def _aggregate_rate(workers: int) -> float:
+        errors: List[BaseException] = []
+        config = ServeConfig(workers=workers,
+                             max_sessions=SERVE_MP_TENANTS + 1)
+        with BackgroundServer(config) as server:
+            # Warm up: one tiny session per tenant, so each spawned
+            # worker finishes its interpreter/import start-up before the
+            # clock starts — the section measures steady-state
+            # throughput, not process spawn cost.
+            warmup = trace[:256]
+            for tenant in tenants:
+                with ServeClient("127.0.0.1", server.port) as client:
+                    client.run_trace(iter(warmup), "ESD", tenant=tenant,
+                                     app=app, total_hint=len(warmup))
+
+            def _drive(tenant: str) -> None:
+                try:
+                    with ServeClient("127.0.0.1", server.port) as client:
+                        client.run_trace(iter(trace), "ESD", tenant=tenant,
+                                         app=app, total_hint=len(trace))
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=_drive, args=(tenant,))
+                       for tenant in tenants]
+            wall0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall0
+        if errors:
+            raise errors[0]
+        return len(tenants) * len(trace) / wall if wall > 0 else 0.0
+
+    rate_1 = _aggregate_rate(1)
+    rate_n = _aggregate_rate(SERVE_MP_TENANTS)
+
+    return {
+        "serve_mp_schema_version": SERVE_MP_SCHEMA_VERSION,
+        "app": app,
+        "requests": requests,
+        "parity_workers": SERVE_MP_PARITY_WORKERS,
+        "roster_parity": parity,
+        "mp_roster_parity": all_parity,
+        "tenants": SERVE_MP_TENANTS,
+        "scaling_workers": SERVE_MP_TENANTS,
+        "aggregate_req_per_s_workers_1": rate_1,
+        "aggregate_req_per_s_workers_n": rate_n,
+        "mp_scaling_ratio": rate_n / rate_1 if rate_1 > 0 else 0.0,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Sweep execution/storage backend throughput
 # ----------------------------------------------------------------------
 
@@ -497,7 +634,9 @@ def bench_sweep_backends(requests: int) -> Dict:
 #: Version of one BENCH_history.json entry's layout; bump on
 #: incompatible changes so trajectory consumers can filter.
 #: v2: adds the sweep backend-pair throughput fields.
-HISTORY_SCHEMA_VERSION = 2
+#: v3: adds the multi-process serve fields (parity gate, aggregate
+#: req/s at workers=1 vs workers=N, scaling ratio, cpu_count).
+HISTORY_SCHEMA_VERSION = 3
 
 
 def history_entry(report: Dict) -> Dict:
@@ -523,6 +662,13 @@ def history_entry(report: Dict) -> Dict:
         "serve_req_per_s": report["serve_throughput"]["serve_req_per_s"],
         "serve_overhead_ratio":
             report["serve_throughput"]["serve_overhead_ratio"],
+        "serve_mp_req_per_s_workers_1":
+            report["serve_mp_throughput"]["aggregate_req_per_s_workers_1"],
+        "serve_mp_req_per_s_workers_n":
+            report["serve_mp_throughput"]["aggregate_req_per_s_workers_n"],
+        "serve_mp_scaling_ratio":
+            report["serve_mp_throughput"]["mp_scaling_ratio"],
+        "serve_mp_cpu_count": report["serve_mp_throughput"]["cpu_count"],
         "sweep_jobs_per_s": {
             pair: stats["jobs_per_s"]
             for pair, stats in report["sweep_throughput"]["pairs"].items()},
@@ -530,6 +676,8 @@ def history_entry(report: Dict) -> Dict:
         "roster_identical": report["roster_parity"]["identical"],
         "loopback_parity":
             report["serve_throughput"]["loopback_parity"],
+        "serve_mp_roster_parity":
+            report["serve_mp_throughput"]["mp_roster_parity"],
         "sweep_backends_identical":
             report["sweep_throughput"]["all_identical"],
         "platform": report["platform"],
@@ -623,6 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     long_trace = bench_long_trace(trace_records, max(rounds, 3))
     kernels = bench_kernels(kernel_ops, kernel_repeats)
     serve = bench_serve_throughput(roster_requests)
+    serve_mp = bench_serve_mp(min(roster_requests,
+                                  1500 if args.quick else 2000))
     sweep = bench_sweep_backends(sweep_requests)
 
     report = {
@@ -632,6 +782,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "long_trace": long_trace,
         "kernels": kernels,
         "serve_throughput": serve,
+        "serve_mp_throughput": serve_mp,
         "sweep_throughput": sweep,
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -661,6 +812,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"serve {serve['serve_req_per_s']:.0f} req/s "
           f"({serve['serve_overhead_ratio']:.2f}x direct), "
           f"parity={serve['loopback_parity']}; "
+          f"serve-mp {serve_mp['mp_scaling_ratio']:.2f}x aggregate at "
+          f"{serve_mp['scaling_workers']} workers "
+          f"(cpus={serve_mp['cpu_count']}), "
+          f"roster parity={serve_mp['mp_roster_parity']}; "
           f"sweep backends identical={sweep['all_identical']}",
           file=sys.stderr)
     failed = False
@@ -681,6 +836,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     if not stats["identical"]]
         print(f"FAIL: sweep backend pair(s) diverge from the serial "
               f"reference: {', '.join(diverged)}", file=sys.stderr)
+        failed = True
+    if not serve_mp["mp_roster_parity"]:
+        diverged = [scheme for scheme, ok
+                    in serve_mp["roster_parity"].items() if not ok]
+        print(f"FAIL: multi-process serve diverges from direct runs "
+              f"for: {', '.join(diverged) or 'drain'}", file=sys.stderr)
         failed = True
     return 2 if failed else 0
 

@@ -19,13 +19,19 @@ serve path silently corrupting results or wedging on shutdown is a
 correctness regression, never acceptable).  Timing is not measured
 here — that is ``perf_smoke.py``'s ``serve_throughput`` section.
 
+``--workers N`` runs the same gate against the multi-process engine
+back end (each tenant gets its own label, so sessions spread across the
+worker pool by the affinity hash); sequential sessions are full
+bit-exact in every mode, so the parity check is unchanged.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/serve_smoke.py
+    PYTHONPATH=src python benchmarks/serve_smoke.py [--workers N]
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import signal
@@ -59,12 +65,13 @@ SESSIONS: Tuple[Tuple[str, str, int, int], ...] = (
 ANNOUNCE = re.compile(r"serving on .*:(\d+)")
 
 
-def spawn_server() -> Tuple[subprocess.Popen, int]:
+def spawn_server(workers: int) -> Tuple[subprocess.Popen, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", str(workers)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
     assert proc.stdout is not None
     line = proc.stdout.readline()
@@ -86,14 +93,19 @@ def direct_payload(scheme: str, trace: List, app: str) -> dict:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="engine worker processes for the spawned "
+                             "server (default: 1, the in-process path)")
+    args = parser.parse_args()
     failures: List[str] = []
-    proc, port = spawn_server()
+    proc, port = spawn_server(args.workers)
     try:
         for scheme, app, requests, seed in SESSIONS:
             trace = TraceGenerator(app, seed=seed).generate_list(requests)
             with ServeClient("127.0.0.1", port) as client:
                 served = client.run_trace(
-                    iter(trace), scheme, tenant="ci", app=app,
+                    iter(trace), scheme, tenant=f"ci-{scheme}", app=app,
                     total_hint=len(trace))
             expected = direct_payload(scheme, trace, app)
             for part in ("summary", "state"):
@@ -125,7 +137,8 @@ def main() -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 2
-    print("serve smoke: parity and clean shutdown ok")
+    print(f"serve smoke (workers={args.workers}): parity and clean "
+          f"shutdown ok")
     return 0
 
 

@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from .analysis.reporting import format_table
+from .common.errors import ConfigError
 from .common.units import kib
 from .dedup import make_scheme
 from .registry import resolve_scheme_name, scheme_names
@@ -378,9 +379,14 @@ def cmd_report(args) -> int:
 def cmd_serve(args) -> int:
     """Run the dedup-as-a-service front end until SIGTERM/SIGINT."""
     from .serve import ServeConfig, run_server
+    from .serve.config import resolve_workers
 
+    try:
+        workers = resolve_workers(args.workers)
+    except ConfigError as exc:
+        raise SystemExit(f"repro serve: {exc}") from exc
     serve_config = ServeConfig(
-        host=args.host, port=args.port, workers=args.workers,
+        host=args.host, port=args.port, workers=workers,
         max_sessions=args.max_sessions, queue_limit=args.queue_limit,
         retry_after_ms=args.retry_after_ms,
         drain_grace_s=args.drain_grace)
@@ -557,8 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--port", type=int, default=0,
                          help="bind port; 0 picks an ephemeral port and "
                               "prints it (default: 0)")
-    serve_p.add_argument("--workers", type=int, default=2,
-                         help="engine worker threads (default: 2)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="engine worker processes; 1 = in-process "
+                              "engine, N>1 = N spawned workers with "
+                              "tenant-hash session affinity (default: "
+                              "$REPRO_SERVE_WORKERS or 1)")
     serve_p.add_argument("--max-sessions", type=int, default=8,
                          help="concurrent session cap (default: 8)")
     serve_p.add_argument("--queue-limit", type=int, default=8192,

@@ -112,6 +112,21 @@ class ServeError(ReproError):
         self.code = code
 
 
+class WorkerCrashError(ServeError):
+    """A serve engine worker process died with sessions on it.
+
+    Raised (and carried over the wire as the ``worker_crash`` error code)
+    when a multi-process :mod:`repro.serve` worker exits or is killed
+    while sessions are routed to it.  Only the crashed worker's sessions
+    fail — their in-worker simulation state is unrecoverable — while
+    other workers' sessions are unaffected and the pool respawns the
+    worker for future sessions.
+    """
+
+    def __init__(self, message: str, *, code: str = "worker_crash") -> None:
+        super().__init__(message, code=code)
+
+
 class IntegrityError(SimulationError):
     """Read-back verification observed data different from what was written.
 

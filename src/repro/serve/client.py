@@ -23,7 +23,7 @@ import socket
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..common.errors import ServeError
+from ..common.errors import ServeError, WorkerCrashError
 from ..common.types import MemoryRequest
 from ..sim.export import result_from_state
 from ..sim.metrics import SimulationResult
@@ -53,12 +53,20 @@ def _chunked(requests: Iterable[MemoryRequest],
 
 
 def _check(reply: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-    """Raise the reply's error as a :class:`ServeError`; pass ``ok``."""
+    """Raise the reply's error as a :class:`ServeError`; pass ``ok``.
+
+    The ``worker_crash`` wire code comes back as the typed
+    :class:`WorkerCrashError` so callers can distinguish "your worker
+    died, reopen and resend" from ordinary engine failures.
+    """
     if reply is None:
         raise ServeError("server closed the connection", code="internal")
     if not reply.get("ok"):
-        raise ServeError(str(reply.get("detail", "request failed")),
-                         code=str(reply.get("error", "internal")))
+        detail = str(reply.get("detail", "request failed"))
+        code = str(reply.get("error", "internal"))
+        if code == "worker_crash":
+            raise WorkerCrashError(detail)
+        raise ServeError(detail, code=code)
     return reply
 
 

@@ -1,21 +1,28 @@
-"""Serve-side session lifecycle: tenancy, queues, micro-batching.
+"""Serve-side session lifecycle: tenancy, queues, micro-batching, routing.
 
 One :class:`ServeSession` pairs a network-facing ingest queue with one
-engine :class:`~repro.sim.session.Session`.  The connection handler
-(:mod:`repro.serve.server`) admits decoded request batches into the
-queue (or rejects them with backpressure when they do not fit); a
-per-session drain task pulls queued requests in vec-epoch-sized
-micro-batches and feeds the engine session on a worker thread.
+engine session.  The connection handler (:mod:`repro.serve.server`)
+admits decoded request batches into the queue (or rejects them with
+backpressure when they do not fit); a per-session drain task pulls
+queued requests in vec-epoch-sized micro-batches and feeds the engine.
 
-Engine work is serialized across sessions by the server's *engine lock*:
-the fast-path/vectorized/observability switches the engine session
-installs around each ``feed`` are process-global
-(:mod:`repro.sim.session`), so two sessions must never be inside
-``feed`` concurrently.  The lock also covers session open and finalize
-(open resets the process-global memo caches).  Concurrency between
-sessions is therefore *interleaving*, not parallelism — which matches
-the engine's CPU profile (pure-Python, GIL-bound) while letting every
-tenant make progress.
+Where the engine lives depends on ``ServeConfig.workers``:
+
+* ``workers == 1`` — the in-process fast path, unchanged from the
+  single-process server: the engine :class:`~repro.sim.session.Session`
+  runs on an executor thread under the manager's *engine lock* (the
+  fast-path/vectorized/observability switches each ``feed`` installs are
+  process-global, so two sessions must never be inside ``feed``
+  concurrently).  Concurrency is interleaving, not parallelism — the
+  GIL bounds the engine to one core.
+* ``workers > 1`` — the engine session lives inside one of N spawned
+  worker processes (:mod:`repro.serve.pool`), selected once at open by
+  consistent tenant-hash affinity; the drain task becomes a dispatch
+  loop awaiting IPC round trips.  Sessions on distinct workers simulate
+  in true parallel, each worker owning its own process-global engine
+  state.  A crashed worker fails exactly the sessions routed to it with
+  :class:`~repro.common.errors.WorkerCrashError`; everyone else keeps
+  streaming (DESIGN.md §14).
 """
 
 from __future__ import annotations
@@ -28,8 +35,14 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..common.config import SystemConfig
-from ..common.errors import ConfigError, ReproError, ServeError
+from ..common.errors import (
+    ConfigError,
+    ReproError,
+    ServeError,
+    WorkerCrashError,
+)
 from ..common.types import MemoryRequest
+from ..obs.metrics import ObsCounter, ObsGauge
 from ..registry import make_scheme, resolve_scheme_name
 from ..sim.engine import EngineConfig, SimulationEngine
 from ..sim.export import result_to_state
@@ -37,8 +50,15 @@ from ..sim.runner import scaled_system_config
 from ..sim.session import Session
 from .config import ServeConfig
 from .obs import ServeMetrics
+from .pool import WorkerPool
 
 __all__ = ["ServeSession", "SessionManager"]
+
+#: Executor threads of the in-process path.  Engine work is serialized
+#: by the engine lock regardless, so two threads only overlap an engine
+#: feed with session open/finalize bookkeeping; the knob that used to
+#: size this pool (``ServeConfig.workers``) now counts worker processes.
+_INPROC_EXECUTOR_THREADS = 2
 
 
 class ServeSession:
@@ -46,22 +66,35 @@ class ServeSession:
 
     States: ``open`` (accepting batches) → ``finalizing`` (queue
     draining, no new batches) → ``done`` | ``failed``.
+
+    Exactly one of ``engine`` (in-process mode) or ``worker >= 0``
+    (pool mode: the worker index its engine session lives on) is set.
+    Hot-loop collaborators — the queue limit, the tenant's metric
+    instruments — are resolved once here, not per admitted batch.
     """
 
-    def __init__(self, sid: str, tenant: str, session: Session,
-                 manager: "SessionManager") -> None:
+    def __init__(self, sid: str, tenant: str, manager: "SessionManager", *,
+                 engine: Optional[Session] = None,
+                 worker: int = -1) -> None:
         self.sid = sid
         self.tenant = tenant
-        self.session = session
+        self.engine = engine
+        self.worker = worker
         self.state = "open"
         self._manager = manager
         self._pending: Deque[MemoryRequest] = deque()
         self._wakeup = asyncio.Event()
         self._error: Optional[ServeError] = None
         self._finalize_requested = False
+        self._queue_limit = manager.config.queue_limit
+        metrics = manager.metrics
+        self._queue_gauge = metrics.queue_depth(tenant)
+        self._requests_counter = metrics.requests_total(tenant)
+        self._rejected_counter = metrics.rejected_total(tenant)
+        self._admission_hist = metrics.admission_latency
+        self._occupancy_hist = metrics.batch_occupancy
         loop = asyncio.get_running_loop()
         self._result: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
-        self._queue_gauge = manager.metrics.queue_depth(tenant)
         self._drain_task = loop.create_task(self._drain_loop())
 
     # -- admission (event-loop side) -----------------------------------
@@ -69,7 +102,7 @@ class ServeSession:
     @property
     def credits(self) -> int:
         """Free slots in the ingest queue."""
-        return self._manager.config.queue_limit - len(self._pending)
+        return self._queue_limit - len(self._pending)
 
     def admit(self, requests: List[MemoryRequest]) -> int:
         """Enqueue a whole batch or reject it; returns remaining credits.
@@ -89,21 +122,30 @@ class ServeSession:
             raise ServeError(
                 f"session {self.sid} is {self.state}, not accepting "
                 f"batches", code="bad_request")
-        limit = self._manager.config.queue_limit
+        limit = self._queue_limit
+        pending = self._pending
         if len(requests) > limit:
             # Would never fit an empty queue either — backpressure would
             # have the client retrying forever.
             raise ServeError(
                 f"batch of {len(requests)} exceeds the queue limit "
                 f"({limit}); split it", code="bad_request")
-        if len(requests) > self.credits:
+        if len(requests) > limit - len(pending):
+            self._rejected_counter.inc()
             raise ServeError(
-                f"ingest queue full ({len(self._pending)}/{limit} queued)",
+                f"ingest queue full ({len(pending)}/{limit} queued)",
                 code="backpressure")
-        self._pending.extend(requests)
-        self._queue_gauge.set(float(len(self._pending)))
+        pending.extend(requests)
+        self._queue_gauge.set(float(len(pending)))
         self._wakeup.set()
-        return self.credits
+        return limit - len(pending)
+
+    def note_admitted(self, started_s: float, accepted: int,
+                      now_s: float) -> None:
+        """Record one accepted batch against this session's hoisted
+        instruments: admission latency plus per-tenant volume."""
+        self._admission_hist.observe((now_s - started_s) * 1e9)
+        self._requests_counter.inc(float(accepted))
 
     def request_finalize(self) -> "asyncio.Future[Dict[str, Any]]":
         """Begin drain+finalize; returns the future of the reply payload."""
@@ -115,6 +157,23 @@ class ServeSession:
             self._wakeup.set()
         return self._result
 
+    def fail(self, error: ServeError) -> None:
+        """Fail the session from outside the drain loop (worker crash).
+
+        Idempotent; the drain task's cancellation runs its ``finally``
+        and releases the session from the table.
+        """
+        if self._error is not None or self.state in ("done", "failed"):
+            return
+        self.state = "failed"
+        self._error = error
+        if not self._result.done():
+            self._result.set_exception(error)
+            # The client may never come back to finalize; mark the
+            # exception retrieved so the loop does not log it as lost.
+            self._result.exception()
+        self._drain_task.cancel()
+
     async def abort(self) -> None:
         """Drop the session (connection lost before finalize)."""
         if self.state in ("open", "finalizing"):
@@ -124,36 +183,32 @@ class ServeSession:
             await self._drain_task
         except (asyncio.CancelledError, Exception):
             pass
-        self.session.close()
+        await self._manager.discard_session(self)
         if not self._result.done():
             self._result.cancel()
 
-    # -- drain (event-loop task; engine work on executor threads) ------
+    # -- drain (event-loop task) ---------------------------------------
 
     async def _drain_loop(self) -> None:
         manager = self._manager
         batch_hint = manager.batch_hint
-        loop = asyncio.get_running_loop()
+        pending = self._pending
         try:
             while True:
-                while not self._pending and not self._finalize_requested:
+                while not pending and not self._finalize_requested:
                     self._wakeup.clear()
                     await self._wakeup.wait()
-                if self._pending:
+                if pending:
                     # Micro-batch: everything queued, capped at one vec
                     # epoch, so the engine session's epoch former stays
                     # busy without one tenant monopolizing a worker.
-                    take = min(len(self._pending), batch_hint)
-                    batch = [self._pending.popleft() for _ in range(take)]
-                    self._queue_gauge.set(float(len(self._pending)))
-                    manager.metrics.batch_occupancy.observe(float(take))
-                    await loop.run_in_executor(
-                        manager.executor, manager.feed_locked,
-                        self.session, batch)
+                    take = min(len(pending), batch_hint)
+                    batch = [pending.popleft() for _ in range(take)]
+                    self._queue_gauge.set(float(len(pending)))
+                    self._occupancy_hist.observe(float(take))
+                    await manager.feed_session(self, batch)
                 else:
-                    payload = await loop.run_in_executor(
-                        manager.executor, manager.finalize_locked,
-                        self.session)
+                    payload = await manager.finalize_session(self)
                     self.state = "done"
                     manager.metrics.sessions_finalized.inc()
                     if not self._result.done():
@@ -161,25 +216,34 @@ class ServeSession:
                     return
         except asyncio.CancelledError:
             raise
+        except ServeError as exc:
+            # Typed serve failures keep their wire code — most notably
+            # WorkerCrashError ("worker_crash") from a dead worker.
+            self._record_failure(exc)
         except ReproError as exc:
-            self.state = "failed"
-            self._error = ServeError(
-                f"session {self.sid} failed: {exc}", code="failed")
-            if not self._result.done():
-                self._result.set_exception(self._error)
+            self._record_failure(ServeError(
+                f"session {self.sid} failed: {exc}", code="failed"))
         except Exception as exc:  # pragma: no cover - defensive
-            self.state = "failed"
-            self._error = ServeError(
-                f"session {self.sid} internal error: {exc}", code="internal")
-            if not self._result.done():
-                self._result.set_exception(self._error)
+            self._record_failure(ServeError(
+                f"session {self.sid} internal error: {exc}",
+                code="internal"))
         finally:
             self._queue_gauge.set(0.0)
             manager.release(self)
 
+    def _record_failure(self, error: ServeError) -> None:
+        self.state = "failed"
+        if self._error is None:
+            self._error = error
+        if not self._result.done():
+            self._result.set_exception(self._error)
+            # The client may learn of the failure from a batch reply and
+            # never finalize; mark retrieved so the loop stays quiet.
+            self._result.exception()
+
 
 class SessionManager:
-    """Owns the session table, the worker pool, and the engine lock."""
+    """Owns the session table plus the engine back end (lock or pool)."""
 
     def __init__(self, config: ServeConfig,
                  engine_config: Optional[EngineConfig] = None,
@@ -191,8 +255,9 @@ class SessionManager:
         self.base_config = base_config or scaled_system_config()
         self.metrics = ServeMetrics()
         self.executor = ThreadPoolExecutor(
-            max_workers=config.workers, thread_name_prefix="repro-serve")
-        #: Serializes all engine work — see the module docstring.
+            max_workers=_INPROC_EXECUTOR_THREADS,
+            thread_name_prefix="repro-serve")
+        #: Serializes all in-process engine work — see the module doc.
         self.engine_lock = threading.Lock()
         self.batch_hint = self.engine_config.vec_epoch_size
         self.sessions: Dict[str, ServeSession] = {}
@@ -201,8 +266,40 @@ class SessionManager:
         #: Set whenever the session table empties (drain coordination).
         self.idle = asyncio.Event()
         self.idle.set()
+        #: Error tombstones of recently failed sessions, so a client
+        #: still streaming learns *why* its session vanished (e.g. the
+        #: typed ``worker_crash``) instead of ``unknown_session``.
+        #: Bounded FIFO — entries only matter for the brief window
+        #: between failure and the client noticing.
+        self._failed: Dict[str, ServeError] = {}
+        self._failed_order: Deque[str] = deque()
+        #: The multi-process back end; ``None`` until :meth:`start` in
+        #: ``workers > 1`` mode, always ``None`` in in-process mode.
+        self.pool: Optional[WorkerPool] = None
+        self._worker_counts: List[int] = []
+        self._worker_session_gauges: List[ObsGauge] = []
+        self._worker_req_counters: List[ObsCounter] = []
 
-    # -- engine work (executor threads) --------------------------------
+    async def start(self) -> None:
+        """Bring up the engine back end (must run on the event loop).
+
+        In-process mode is a no-op; multi-process mode spawns the worker
+        pool here because its reader threads resolve futures through the
+        running loop.
+        """
+        if self.config.workers <= 1 or self.pool is not None:
+            return
+        self.pool = WorkerPool(self.config, self.engine_config,
+                               self.metrics, self._on_worker_crash)
+        self._worker_counts = [0] * self.config.workers
+        self._worker_session_gauges = [
+            self.metrics.worker_sessions(index)
+            for index in range(self.config.workers)]
+        self._worker_req_counters = [
+            self.metrics.worker_requests(index)
+            for index in range(self.config.workers)]
+
+    # -- in-process engine work (executor threads) ----------------------
 
     def open_locked(self, scheme_name: str, system_config: SystemConfig,
                     app: str, total_hint: Optional[int]) -> Session:
@@ -222,6 +319,55 @@ class SessionManager:
         return {"summary": result.summary_row(),
                 "state": result_to_state(result)}
 
+    # -- engine dispatch (event-loop side; both modes) ------------------
+
+    async def feed_session(self, session: ServeSession,
+                           batch: List[MemoryRequest]) -> None:
+        """Feed one micro-batch into the session's engine."""
+        if session.worker >= 0:
+            assert self.pool is not None
+            self._worker_req_counters[session.worker].inc(float(len(batch)))
+            await self.pool.request(session.worker,
+                                    ("feed", session.sid, batch))
+        else:
+            assert session.engine is not None
+            await asyncio.get_running_loop().run_in_executor(
+                self.executor, self.feed_locked, session.engine, batch)
+
+    async def finalize_session(self, session: ServeSession
+                               ) -> Dict[str, Any]:
+        """Finalize the session's engine; returns the reply payload."""
+        if session.worker >= 0:
+            assert self.pool is not None
+            payload = await self.pool.request(
+                session.worker, ("finalize", session.sid))
+            assert isinstance(payload, dict)
+            return payload
+        assert session.engine is not None
+        result: Dict[str, Any] = await asyncio.get_running_loop(
+        ).run_in_executor(self.executor, self.finalize_locked,
+                          session.engine)
+        return result
+
+    async def discard_session(self, session: ServeSession) -> None:
+        """Drop the engine side of an aborted session (best effort)."""
+        if session.worker >= 0:
+            if self.pool is None:
+                return
+            try:
+                await self.pool.request(session.worker,
+                                        ("close", session.sid))
+            except ServeError:
+                pass
+        elif session.engine is not None:
+            session.engine.close()
+
+    def _on_worker_crash(self, index: int, error: WorkerCrashError) -> None:
+        """Pool crash callback: fail exactly the sessions routed there."""
+        for session in list(self.sessions.values()):
+            if session.worker == index:
+                session.fail(error)
+
     # -- session table (event-loop side) -------------------------------
 
     async def open(self, message: Dict[str, Any]) -> Tuple[ServeSession, int]:
@@ -230,7 +376,8 @@ class SessionManager:
         Raises:
             ServeError: ``shutting_down`` during drain, ``session_limit``
                 at capacity, ``unknown_scheme`` / ``bad_request`` on a
-                bad scheme token or tenant options.
+                bad scheme token or tenant options, ``worker_crash``
+                when the affinity worker died and is still respawning.
         """
         if self.draining:
             raise ServeError("server is draining; no new sessions",
@@ -258,12 +405,21 @@ class SessionManager:
         if total_hint is not None:
             total_hint = int(total_hint)
 
-        loop = asyncio.get_running_loop()
-        session = await loop.run_in_executor(
-            self.executor, self.open_locked, scheme_name, system_config,
-            app, total_hint)
         sid = f"s{next(self._ids)}"
-        serve_session = ServeSession(sid, tenant, session, self)
+        if self.pool is not None:
+            worker = self.pool.worker_for(tenant)
+            await self.pool.request(
+                worker, ("open", sid, scheme_name, system_config, app,
+                         total_hint))
+            serve_session = ServeSession(sid, tenant, self, worker=worker)
+            self._worker_counts[worker] += 1
+            self._worker_session_gauges[worker].set(
+                float(self._worker_counts[worker]))
+        else:
+            engine = await asyncio.get_running_loop().run_in_executor(
+                self.executor, self.open_locked, scheme_name, system_config,
+                app, total_hint)
+            serve_session = ServeSession(sid, tenant, self, engine=engine)
         self.sessions[sid] = serve_session
         self.idle.clear()
         self.metrics.sessions_opened.inc()
@@ -273,16 +429,38 @@ class SessionManager:
     def get(self, sid: Any) -> ServeSession:
         session = self.sessions.get(sid) if isinstance(sid, str) else None
         if session is None:
+            failed = self._failed.get(sid) if isinstance(sid, str) else None
+            if failed is not None:
+                raise failed
             raise ServeError(f"unknown session {sid!r}",
                              code="unknown_session")
         return session
 
     def release(self, session: ServeSession) -> None:
         """Drop a finished session from the table (drain-task callback)."""
+        if session._error is not None:
+            self._failed[session.sid] = session._error
+            self._failed_order.append(session.sid)
+            while len(self._failed_order) > 128:
+                self._failed.pop(self._failed_order.popleft(), None)
         if self.sessions.pop(session.sid, None) is not None:
             self.metrics.active_sessions.set(float(len(self.sessions)))
+            if session.worker >= 0 and self._worker_counts:
+                self._worker_counts[session.worker] -= 1
+                self._worker_session_gauges[session.worker].set(
+                    float(self._worker_counts[session.worker]))
         if not self.sessions:
             self.idle.set()
+
+    # -- observability and shutdown ------------------------------------
+
+    async def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``metrics`` verb's payload; merges worker registries in
+        multi-process mode."""
+        if self.pool is None:
+            return self.metrics.snapshot()
+        return self.metrics.merged_snapshot(
+            await self.pool.metrics_snapshots())
 
     async def drain(self, grace_s: float) -> bool:
         """Stop admitting sessions; wait for the table to empty.
@@ -301,5 +479,12 @@ class SessionManager:
                 await session.abort()
             return False
 
-    def shutdown(self) -> None:
+    async def shutdown(self) -> None:
+        """Tear down the engine back end after drain.
+
+        Pool mode sends every worker a ``stop`` and joins it — the FIFO
+        pipes guarantee all previously dispatched feeds completed first.
+        """
+        if self.pool is not None:
+            await self.pool.stop()
         self.executor.shutdown(wait=True)
