@@ -8,6 +8,9 @@ simulator:
 
     python -m repro.cli run --scheme ESD --app gcc --requests 20000
     python -m repro.cli run --scheme 3 --trace my.esdtrace
+    python -m repro.cli run --scheme 3 --trace my.esdtrace \
+        --checkpoint my.ckpt --checkpoint-every 100000
+    python -m repro.cli run --scheme 3 --trace my.esdtrace --resume my.ckpt
     python -m repro.cli compare --app lbm --requests 15000
     python -m repro.cli gen-trace --app gcc --requests 5000 --out gcc.esdtrace
     python -m repro.cli figures --quick
@@ -26,16 +29,33 @@ import math
 import sys
 from typing import List, Optional
 
+from itertools import islice
+
 from .analysis.reporting import format_table
-from .common.errors import ConfigError
+from .common.errors import CheckpointError, ConfigError, TraceFormatError
 from .common.units import kib
 from .dedup import make_scheme
 from .registry import resolve_scheme_name, scheme_names
 from .sim.engine import EngineConfig, SimulationEngine
 from .sim.runner import run_app, scaled_system_config
+from .workloads.adversarial import (
+    PHASE_SHIFT_NAME,
+    adversarial_stream,
+    adversarial_stream_names,
+    stream_instructions_per_access,
+)
 from .workloads.generator import TraceGenerator
-from .workloads.profiles import app_names, get_profile
-from .workloads.trace import read_trace_list, write_trace
+from .workloads.profiles import (
+    ADVERSARIAL_PROFILES,
+    app_names,
+    get_profile,
+)
+from .workloads.trace import (
+    capture_trace,
+    read_trace,
+    read_trace_list,
+    trace_record_count,
+)
 
 
 def resolve_scheme(token: str) -> str:
@@ -44,6 +64,11 @@ def resolve_scheme(token: str) -> str:
         return resolve_scheme_name(token)
     except ValueError as exc:
         raise SystemExit(str(exc))
+
+
+def _app_choices() -> List[str]:
+    """The roster's 20 apps plus the adversarial stream profiles."""
+    return app_names() + adversarial_stream_names()
 
 
 def _system_config(args) -> "SystemConfig":
@@ -63,8 +88,40 @@ def _system_config(args) -> "SystemConfig":
 def _load_or_generate(args) -> List:
     if args.trace:
         return read_trace_list(args.trace)
+    if args.app in adversarial_stream_names():
+        return list(adversarial_stream(args.app, args.requests,
+                                       seed=args.seed))
     return TraceGenerator(args.app, seed=args.seed).generate_list(
         args.requests)
+
+
+def _instructions_per_access(args) -> int:
+    """IPC-model density for the selected app (200 for replayed traces)."""
+    if getattr(args, "trace", None):
+        return 200
+    if args.app in adversarial_stream_names():
+        return stream_instructions_per_access(args.app)
+    return get_profile(args.app).instructions_per_access
+
+
+def _open_stream(args):
+    """Open the run's request stream without materializing it.
+
+    Returns ``(iterator, total_hint)``.  Trace replays stream chunk by
+    chunk through :func:`read_trace`; generated workloads (roster or
+    adversarial) stream straight from their generators.
+    """
+    if args.trace:
+        try:
+            total = trace_record_count(args.trace)
+        except (OSError, TraceFormatError) as exc:
+            raise SystemExit(f"cannot read trace {args.trace}: {exc}")
+        return read_trace(args.trace), total
+    if args.app in adversarial_stream_names():
+        return (adversarial_stream(args.app, args.requests, seed=args.seed),
+                args.requests)
+    return (TraceGenerator(args.app, seed=args.seed).generate(args.requests),
+            args.requests)
 
 
 def _fmt_percentile(value: float) -> str:
@@ -72,21 +129,104 @@ def _fmt_percentile(value: float) -> str:
     return "n/a" if math.isnan(value) else f"{value:.1f}"
 
 
+#: ``repro run --stop-after`` exit code: the run was deliberately
+#: interrupted after writing a resumable checkpoint (distinct from 0
+#: "completed" and 1/2 "failed").
+EXIT_CHECKPOINT_STOP = 3
+
+
+def _open_or_resume_session(args, scheme_name: str):
+    """Build the run's session and stream, honouring ``--resume``.
+
+    Returns ``(session, stream, consumed)`` where ``consumed`` records
+    of the source stream have already been skipped.
+    """
+    stream, total = _open_stream(args)
+    if not args.resume:
+        scheme = make_scheme(scheme_name, _system_config(args))
+        engine = SimulationEngine(scheme, EngineConfig())
+        session = engine.open_session(
+            app=args.app, total_hint=total,
+            instructions_per_access=_instructions_per_access(args))
+        return session, stream, 0
+
+    from .sim.checkpoint import load_checkpoint
+    try:
+        restored = load_checkpoint(args.resume)
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume from {args.resume}: {exc}")
+    meta = restored.meta
+    if meta.get("app") != args.app:
+        raise SystemExit(
+            f"checkpoint {args.resume} was taken on app "
+            f"{meta.get('app')!r}; rerun with --app {meta.get('app')}")
+    if meta.get("scheme") != scheme_name:
+        raise SystemExit(
+            f"checkpoint {args.resume} was taken with scheme "
+            f"{meta.get('scheme')!r}, not {scheme_name!r}")
+    consumed = restored.consumed
+    skipped = sum(1 for _ in islice(stream, consumed))
+    if skipped < consumed:
+        raise SystemExit(
+            f"stream ends after {skipped} records but checkpoint "
+            f"{args.resume} had consumed {consumed}; pass the same "
+            f"--trace/--app/--requests/--seed as the original run")
+    return restored.session, stream, consumed
+
+
 def cmd_run(args) -> int:
-    """Run one scheme over one trace; print the artifact's statistics."""
+    """Run one scheme over one trace; print the artifact's statistics.
+
+    Long runs can stream from a trace file in bounded memory, write
+    periodic checkpoints (``--checkpoint PATH --checkpoint-every N``),
+    deliberately stop early (``--stop-after M``, exit code 3), and later
+    resume bit-exactly (``--resume PATH``).
+    """
     scheme_name = resolve_scheme(args.scheme)
-    trace = _load_or_generate(args)
-    profile = get_profile(args.app) if not args.trace else None
-    scheme = make_scheme(scheme_name, _system_config(args))
-    engine = SimulationEngine(scheme, EngineConfig())
-    result = engine.run(
-        iter(trace), app=args.app, total_hint=len(trace),
-        instructions_per_access=(profile.instructions_per_access
-                                 if profile else 200))
+    every = args.checkpoint_every
+    if every is not None and every <= 0:
+        raise SystemExit("--checkpoint-every must be positive")
+    if args.stop_after is not None and args.stop_after <= 0:
+        raise SystemExit("--stop-after must be positive")
+    if (every is not None or args.stop_after is not None) \
+            and not args.checkpoint:
+        raise SystemExit("--checkpoint-every/--stop-after need "
+                         "--checkpoint PATH")
+
+    session, stream, consumed = _open_or_resume_session(args, scheme_name)
+    fed = consumed
+    stopped = False
+    while True:
+        budget = every
+        if args.stop_after is not None:
+            remaining = args.stop_after - fed
+            if remaining <= 0:
+                stopped = True
+                break
+            budget = remaining if budget is None else min(budget, remaining)
+        chunk = stream if budget is None else islice(stream, budget)
+        count = session.feed(chunk)
+        fed += count
+        if args.checkpoint:
+            session.checkpoint(args.checkpoint)
+        if budget is None or count < budget:
+            break  # stream exhausted
+
+    if stopped:
+        print(f"stopped after {fed} requests; checkpoint written to "
+              f"{args.checkpoint} (continue with --resume "
+              f"{args.checkpoint})")
+        return EXIT_CHECKPOINT_STOP
+
+    result = session.finalize()
+    if args.export_state:
+        from .sim.export import result_state_bytes
+        with open(args.export_state, "wb") as fh:
+            fh.write(result_state_bytes(result))
 
     rows = [
         ["scheme", scheme_name],
-        ["requests", len(trace)],
+        ["requests", fed],
         ["writes (recorded)", result.writes],
         ["reads (recorded)", result.reads],
         ["write reduction", f"{result.write_reduction:.1%}"],
@@ -108,6 +248,9 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """Run all four schemes on one application (paired trace)."""
+    if args.app == PHASE_SHIFT_NAME:
+        raise SystemExit(f"compare does not support the {PHASE_SHIFT_NAME} "
+                         f"mix; use 'repro run --app {PHASE_SHIFT_NAME}'")
     evaluation = scheme_names()
     results = run_app(args.app, evaluation, requests=args.requests,
                       system=_system_config(args), seed=args.seed)
@@ -132,10 +275,25 @@ def cmd_compare(args) -> int:
 
 
 def cmd_gen_trace(args) -> int:
-    """Generate and persist a trace in the artifact's regulation format."""
-    trace = TraceGenerator(args.app, seed=args.seed).generate(args.requests)
-    count = write_trace(trace, args.out)
-    print(f"wrote {count} records for {args.app} to {args.out}")
+    """Generate and persist a trace in the artifact's regulation format.
+
+    Streams from the generator straight into the chunked v2 container
+    (``--format v1`` keeps the legacy flat layout) without materializing
+    the trace, so arbitrarily long captures run in bounded memory.
+    """
+    if args.app in adversarial_stream_names():
+        trace = adversarial_stream(args.app, args.requests, seed=args.seed)
+    else:
+        trace = TraceGenerator(args.app, seed=args.seed).generate(
+            args.requests)
+    version = 1 if args.format == "v1" else 2
+    try:
+        count = capture_trace(trace, args.out, version=version,
+                              compress=args.compress)
+    except TraceFormatError as exc:
+        raise SystemExit(f"gen-trace: {exc}")
+    detail = args.format + (", zlib" if args.compress else "")
+    print(f"wrote {count} records for {args.app} to {args.out} ({detail})")
     return 0
 
 
@@ -148,6 +306,16 @@ def cmd_list_apps(_args) -> int:
     print(format_table(
         ["application", "suite", "dup_rate", "read_share", "ws_lines"],
         rows, title="Available applications (12 SPEC CPU 2017 + 8 PARSEC)"))
+    adv_rows = []
+    for p in ADVERSARIAL_PROFILES:
+        adv_rows.append([p.name, p.suite, f"{p.duplicate_rate:.1%}",
+                         f"{p.read_fraction:.0%}", p.working_set_lines])
+    adv_rows.append([PHASE_SHIFT_NAME, "adversarial", "phased",
+                     "phased", "phased"])
+    print()
+    print(format_table(
+        ["stream", "suite", "dup_rate", "read_share", "ws_lines"],
+        adv_rows, title="Adversarial stress streams (repro run --app ...)"))
     return 0
 
 
@@ -317,7 +485,6 @@ def _run_observed(args) -> "SimulationResult":
     """Run one scheme x app with the observability layer enabled."""
     scheme_name = resolve_scheme(args.scheme)
     trace = _load_or_generate(args)
-    profile = get_profile(args.app) if not args.trace else None
     config = _system_config(args).with_observability(
         enabled=True, trace_capacity=args.capacity,
         sample_every=args.sample_every)
@@ -325,8 +492,7 @@ def _run_observed(args) -> "SimulationResult":
     engine = SimulationEngine(scheme, EngineConfig())
     return engine.run(
         iter(trace), app=args.app, total_hint=len(trace),
-        instructions_per_access=(profile.instructions_per_access
-                                 if profile else 200))
+        instructions_per_access=_instructions_per_access(args))
 
 
 def cmd_trace(args) -> int:
@@ -418,8 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("--app", default="gcc", choices=app_names(),
-                       help="application profile (default: gcc)")
+        p.add_argument("--app", default="gcc", choices=_app_choices(),
+                       help="application profile or adversarial stream "
+                            "(default: gcc)")
         p.add_argument("--requests", type=int, default=20_000,
                        help="trace length (default: 20000)")
         p.add_argument("--seed", type=int, default=2023)
@@ -442,6 +609,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="0|1|2|3 or Baseline|Dedup_SHA1|DeWrite|ESD")
     run_p.add_argument("--trace", default=None,
                        help="replay a serialized trace instead of generating")
+    run_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write resumable checkpoints to this path")
+    run_p.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="checkpoint after every N requests (needs "
+                            "--checkpoint)")
+    run_p.add_argument("--stop-after", type=int, default=None, metavar="M",
+                       help="stop after M requests with a final checkpoint "
+                            "and exit code 3 (needs --checkpoint)")
+    run_p.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume bit-exactly from a checkpoint written "
+                            "by an identical earlier run")
+    run_p.add_argument("--export-state", default=None, metavar="PATH",
+                       help="also write the result's canonical full-state "
+                            "JSON (the bit-exactness currency)")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="all four schemes, one app")
@@ -451,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p = sub.add_parser("gen-trace", help="write a trace file")
     add_common(gen_p)
     gen_p.add_argument("--out", required=True, help="output path")
+    gen_p.add_argument("--format", default="v2", choices=("v1", "v2"),
+                       help="container format: chunked v2 (default) or "
+                            "the legacy flat v1")
+    gen_p.add_argument("--compress", action="store_true",
+                       help="zlib-compress v2 chunk payloads")
     gen_p.set_defaults(func=cmd_gen_trace)
 
     list_p = sub.add_parser("list-apps", help="list application profiles")

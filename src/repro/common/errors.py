@@ -89,6 +89,16 @@ class LeaseError(SweepError):
     """
 
 
+class CheckpointError(SimulationError):
+    """A mid-run checkpoint could not be written, read, or resumed.
+
+    Raised by :mod:`repro.sim.checkpoint` on a corrupt or truncated
+    checkpoint file (bad magic, version, CRC, or payload length) and on
+    resume-time inconsistencies such as restoring a session that was not
+    checkpointed in the open state.
+    """
+
+
 class SessionError(SimulationError):
     """An incremental simulation session was used after it ended.
 

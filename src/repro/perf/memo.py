@@ -43,6 +43,8 @@ __all__ = [
     "get_cache",
     "registered_caches",
     "reset_all",
+    "state_export",
+    "state_import",
     "stats_snapshot",
 ]
 
@@ -140,6 +142,19 @@ class MemoCache:
             "size": len(self._data),
         }
 
+    def __reduce__(self):
+        """Pickle as a *registry reference*, never by value.
+
+        Objects that lazily bind a cache (e.g. the fingerprinters'
+        ``self._cache``) get pickled inside session checkpoints; a
+        by-value copy would detach them from the process-global registry
+        on restore, silently forking counters and contents.  Resolving
+        through :func:`get_cache` re-binds to the live registry instance
+        — whose entries/counters the checkpoint restores separately via
+        :func:`state_import`.
+        """
+        return (get_cache, (self.name, self.capacity))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"MemoCache({self.name!r}, capacity={self.capacity}, "
                 f"size={len(self._data)}, hits={self.hits}, "
@@ -172,6 +187,48 @@ def reset_all() -> None:
     """Reset every registered cache (entries and counters)."""
     for cache in _REGISTRY.values():
         cache.reset()
+
+
+def state_export() -> Dict[str, Dict[str, Any]]:
+    """Snapshot every registered cache's entries and counters.
+
+    Used by mid-run checkpoints: the memoized kernels are pure, but cache
+    *hit/miss counters* feed exported run metrics, so a bit-exact resume
+    must restore the caches exactly as they stood.  Entry order (LRU
+    recency) is preserved — an ``OrderedDict`` copy keeps it.
+    """
+    return {
+        name: {
+            "capacity": cache.capacity,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "entries": OrderedDict(cache._data),
+        }
+        for name, cache in _REGISTRY.items()
+    }
+
+
+def state_import(state: Dict[str, Dict[str, Any]]) -> None:
+    """Restore a :func:`state_export` snapshot into the live registry.
+
+    Caches not present in the snapshot are reset, so the registry as a
+    whole matches the exporting process.  Entries are written **in place**
+    (``_data`` is cleared and refilled, never reassigned): call sites may
+    hold direct aliases to a cache's mapping — e.g.
+    ``repro.crypto.counter_mode`` binds ``_PAD_CACHE._data`` at import
+    time — and reassignment would silently detach them.
+    """
+    for name, cache in _REGISTRY.items():
+        if name not in state:
+            cache.reset()
+    for name, snap in state.items():
+        cache = get_cache(name, snap["capacity"])
+        cache.hits = snap["hits"]
+        cache.misses = snap["misses"]
+        cache.evictions = snap["evictions"]
+        cache._data.clear()
+        cache._data.update(snap["entries"])
 
 
 def stats_snapshot(prefix: str = "memo_", *,

@@ -1,7 +1,24 @@
 """Simulation layer: engine, full-system wiring, runner, and metrics."""
 
+from .checkpoint import (
+    RestoredCheckpoint,
+    checkpoint_bytes,
+    checkpoint_stats,
+    load_checkpoint,
+    reset_checkpoint_stats,
+    write_checkpoint,
+)
 from .engine import EngineConfig, SimulationEngine
-from .export import csv_string, grid_to_dict, read_json, result_to_dict, write_csv, write_json
+from .export import (
+    csv_string,
+    grid_to_dict,
+    read_json,
+    result_state_bytes,
+    result_to_dict,
+    write_csv,
+    write_json,
+)
+from .session import Session
 from .metrics import SimulationResult, collect_extras, speedup
 from .runner import (
     ExperimentConfig,
@@ -19,20 +36,28 @@ __all__ = [
     "ExperimentConfig",
     "FullSystem",
     "FullSystemStats",
+    "RestoredCheckpoint",
     "ResultGrid",
+    "Session",
     "SimulationEngine",
     "SimulationResult",
+    "checkpoint_bytes",
+    "checkpoint_stats",
     "collect_extras",
     "csv_string",
     "grid_to_dict",
     "grid_metric",
     "iter_apps",
+    "load_checkpoint",
+    "reset_checkpoint_stats",
+    "result_state_bytes",
+    "result_to_dict",
     "run_app",
     "read_json",
-    "result_to_dict",
     "run_grid",
     "scaled_system_config",
     "speedup",
+    "write_checkpoint",
     "write_csv",
     "write_json",
 ]

@@ -196,6 +196,18 @@ def result_to_state(result: SimulationResult) -> Dict:
     }
 
 
+def result_state_bytes(result: SimulationResult) -> bytes:
+    """Canonical bytes of a result's lossless state.
+
+    Sorted-key JSON of :func:`result_to_state` — the comparison currency
+    of every bit-exactness gate (sweep cache identity, serve parity, and
+    the checkpoint-resume gate): two results are *the same run* iff these
+    bytes are equal.
+    """
+    return (json.dumps(result_to_state(result), sort_keys=True) + "\n"
+            ).encode("utf-8")
+
+
 def result_from_state(state: Dict) -> SimulationResult:
     """Rebuild a result from :func:`result_to_state` output.
 

@@ -175,6 +175,12 @@ class Session:
         """Requests buffered toward the next epoch (vectorized mode)."""
         return len(self._pending)
 
+    @property
+    def consumed(self) -> int:
+        """Source-stream records this session has taken (processed plus
+        the buffered epoch tail) — the resume offset a checkpoint records."""
+        return self._processed + len(self._pending)
+
     def _require_open(self, verb: str) -> None:
         if self._state != "open":
             raise SessionError(
@@ -189,7 +195,11 @@ class Session:
         _obs_runtime.RUN = self._obs_run
 
     def _deactivate(self) -> None:
-        _memo.ENABLED, _vec_flags.ENABLED, _obs_runtime.RUN = self._saved
+        saved = self._saved
+        # Drop the saved tuple so a checkpoint taken between feeds never
+        # pickles another session's observation scope along with this one.
+        del self._saved
+        _memo.ENABLED, _vec_flags.ENABLED, _obs_runtime.RUN = saved
 
     def feed(self, requests: Iterable[MemoryRequest]) -> int:
         """Process a chunk of the request stream; returns its length.
@@ -288,6 +298,44 @@ class Session:
         """
         if self._state == "open":
             self._state = "closed"
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (see repro.sim.checkpoint for the format and
+    # the bit-exactness argument)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, destination: Optional[object] = None) -> object:
+        """Snapshot this open session for a later bit-exact resume.
+
+        With ``destination`` (a path) the checkpoint is written atomically
+        and the byte count returned; with no argument the serialized
+        checkpoint is returned as ``bytes``.  The session stays open and
+        can keep feeding — checkpointing is a pure snapshot.  Resume with
+        :meth:`restore`, then skip :attr:`consumed` records of the source
+        stream before feeding the remainder.
+
+        Raises:
+            SessionError: when the session is not open.
+        """
+        from .checkpoint import checkpoint_bytes, write_checkpoint
+        if destination is None:
+            return checkpoint_bytes(self)
+        return write_checkpoint(self, destination)  # type: ignore[arg-type]
+
+    @classmethod
+    def restore(cls, source: object) -> "Session":
+        """Restore a session from a checkpoint (path, bytes, or file).
+
+        Reinstalls the process-global memo-cache state the checkpoint
+        captured and returns the live, open session; its
+        :attr:`consumed` property is the number of source-stream records
+        to skip before feeding.
+
+        Raises:
+            CheckpointError: on a corrupt or incompatible checkpoint.
+        """
+        from .checkpoint import load_checkpoint
+        return load_checkpoint(source).session  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     # Chunk processors (the engine's former _loop_* bodies, resumable)

@@ -66,6 +66,7 @@ from typing import (
     Union,
 )
 
+from ..common.atomic import fsync_atomic_write
 from ..common.errors import LeaseError, UnknownBackendError
 
 __all__ = [
@@ -80,34 +81,8 @@ __all__ = [
 ]
 
 
-def fsync_atomic_write(path: Path, data: Union[str, bytes]) -> None:
-    """Atomically and durably replace ``path`` with ``data``.
-
-    Write to a temp file in the same directory, fsync it, ``os.replace``
-    onto the destination, then fsync the directory so the rename itself
-    is on stable storage.  Readers see either the old or the complete new
-    content — never a torn row — even across a crash mid-write.
-    """
-    payload = data.encode("utf-8") if isinstance(data, str) else data
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                               prefix=f".{path.name}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-        dir_fd = os.open(str(path.parent), os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+# Atomic durable replacement now lives in repro.common.atomic (trace
+# captures and checkpoints share it); re-exported here for compatibility.
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple, Union
 
-from ..common.types import MemoryRequest
+from ..common.types import MemoryRequest, request_unchecked
 from .generator import TraceGenerator
 from .profiles import get_profile
 
@@ -66,21 +66,30 @@ class PhasedTraceGenerator:
         return sum(p.requests for p in self.phases)
 
     def generate(self) -> Iterator[MemoryRequest]:
-        """Yield every phase's requests with a continuous clock and seq."""
+        """Yield every phase's requests with a continuous clock and seq.
+
+        Re-basing a phase onto the shared clock only shifts a request the
+        inner generator already validated, so the requests are rebuilt
+        through trusted construction instead of paying dataclass
+        re-validation per record.  The next phase starts at the *latest*
+        issue time seen, not the last one: zero-interarrival ties (and
+        any non-monotonic tail the per-core interleave can emit) must not
+        drag the clock backwards across a phase boundary.
+        """
         clock_offset = 0.0
         seq = 0
         for index, phase in enumerate(self.phases):
             gen = TraceGenerator(phase.app, seed=self.seed * 17 + index)
-            last_time = clock_offset
+            phase_end = clock_offset
             for request in gen.generate(phase.requests):
                 seq += 1
-                last_time = clock_offset + request.issue_time_ns
-                yield MemoryRequest(address=request.address,
-                                    access=request.access,
-                                    data=request.data,
-                                    issue_time_ns=last_time,
-                                    core=request.core, seq=seq)
-            clock_offset = last_time
+                issue = clock_offset + request.issue_time_ns
+                if issue > phase_end:
+                    phase_end = issue
+                yield request_unchecked(request.address, request.access,
+                                        request.data, issue,
+                                        request.core, seq)
+            clock_offset = phase_end
 
     def generate_list(self) -> List[MemoryRequest]:
         return list(self.generate())

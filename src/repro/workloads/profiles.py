@@ -47,7 +47,7 @@ class WorkloadProfile:
     """Statistical description of one application's LLC traffic."""
 
     name: str
-    suite: str  # "spec2017" | "parsec"
+    suite: str  # "spec2017" | "parsec" | "adversarial"
     duplicate_rate: float
     zero_fraction: float
     locality_skew: float
@@ -59,7 +59,7 @@ class WorkloadProfile:
     tail_dup_fraction: float = 0.25
 
     def __post_init__(self) -> None:
-        if self.suite not in ("spec2017", "parsec"):
+        if self.suite not in ("spec2017", "parsec", "adversarial"):
             raise ConfigError(f"unknown suite {self.suite!r}")
         for field_name in ("duplicate_rate", "zero_fraction", "dup_burstiness",
                            "read_fraction", "tail_dup_fraction"):
@@ -135,8 +135,43 @@ PARSEC_PROFILES: Tuple[WorkloadProfile, ...] = (
 
 ALL_PROFILES: Tuple[WorkloadProfile, ...] = SPEC_PROFILES + PARSEC_PROFILES
 
-#: Name -> profile lookup.
-PROFILES: Dict[str, WorkloadProfile] = {p.name: p for p in ALL_PROFILES}
+
+def _adv(name: str, dup: float, zero: float, skew: float, burst: float,
+         reads: float, ws: int, ipa: int, inter: float,
+         tail: float) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="adversarial",
+                           duplicate_rate=dup, zero_fraction=zero,
+                           locality_skew=skew, dup_burstiness=burst,
+                           read_fraction=reads, working_set_lines=ws,
+                           instructions_per_access=ipa,
+                           mean_interarrival_ns=inter,
+                           tail_dup_fraction=tail)
+
+
+#: Adversarial stream profiles for long-run stress studies.  They are
+#: first-class profiles — resolvable through :func:`get_profile`, the CLI,
+#: and the trace generator — but deliberately *not* part of the paper's
+#: 20-app roster (``ALL_PROFILES`` / :func:`app_names` / the figure
+#: aggregates stay untouched).
+ADVERSARIAL_PROFILES: Tuple[WorkloadProfile, ...] = (
+    # Dedup worst case: almost every write is unique, write-heavy and
+    # memory-intense, with the few duplicates scattered across the deep
+    # recurrence tail — every fingerprint/ECC-compare the schemes spend is
+    # wasted, maximizing their overhead relative to the baseline.
+    _adv("adv-dedup-worst",     0.02, 0.00, 0.60, 0.05, 0.25, 96_000, 150,
+         18.0, 0.90),
+    # Fingerprint-collision heavy: near-total duplication with almost no
+    # popularity skew and a huge working set, so the fingerprint indexes
+    # (EFIT/CFIT, DeWrite tables) thrash on long-range recurrences instead
+    # of riding a hot set — the stress case for index capacity/eviction.
+    _adv("adv-collision-heavy", 0.92, 0.02, 0.35, 0.30, 0.30, 80_000, 150,
+         18.0, 0.95),
+)
+
+#: Name -> profile lookup (roster apps plus adversarial profiles).
+PROFILES: Dict[str, WorkloadProfile] = {
+    p.name: p for p in ALL_PROFILES + ADVERSARIAL_PROFILES
+}
 
 #: The 8 applications whose write-latency CDFs Figure 15 plots.
 TAIL_LATENCY_APPS: Tuple[str, ...] = (
@@ -161,6 +196,11 @@ def get_profile(name: str) -> WorkloadProfile:
 def app_names() -> List[str]:
     """All 20 application names in the paper's presentation order."""
     return [p.name for p in ALL_PROFILES]
+
+
+def adversarial_names() -> List[str]:
+    """Names of the registered adversarial stream profiles."""
+    return [p.name for p in ADVERSARIAL_PROFILES]
 
 
 def mean_duplicate_rate() -> float:

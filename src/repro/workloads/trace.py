@@ -5,18 +5,38 @@ lets experiments replay byte-identical request streams across schemes and
 sessions — the artifact-appendix workflow of the paper ("users can generate
 other corresponding traces ... kept in the same regulation format").
 
-Format (version 1), little-endian:
+Record encoding (shared by both container versions), little-endian:
 
 ============  =======================================================
-Header        magic ``b"ESDTRACE"``, u16 version, u16 reserved,
-              u64 record count
 Record        u8 kind (0=read, 1=write), u8 core, u16 reserved,
               u32 seq, u64 address, f64 issue_time_ns,
               64-byte payload (writes only)
 ============  =======================================================
 
-With the :mod:`repro.vec` switch on (the default), deserialization runs
-batched: the reader parses the whole record stream with one
+Container **version 1** (legacy, still read bit-exactly): a 20-byte
+header — magic ``b"ESDTRACE"``, u16 version, u16 reserved, u64 record
+count — followed by all records inline.  Writing it materializes the
+whole payload, so it is only suitable for traces that fit in memory.
+
+Container **version 2** (the default): the same 20-byte header (u16
+flags replaces the reserved field, bit 0 = zlib-compressed chunks; the
+u64 count field is reserved/zero — the authoritative count lives in the
+footer, so the writer never needs to seek) followed by a sequence of
+chunk frames::
+
+    u32 record_count, u32 raw_len, u32 stored_len, stored bytes
+
+and terminated by an end-of-trace marker frame with ``record_count ==
+0`` whose 8 stored bytes are the u64 total record count.  The writer
+packs ``chunk_records`` records at a time straight from the source
+iterator, so a generator streams to disk in bounded memory; the reader
+decodes chunk by chunk the same way.  A file that is missing its marker
+frame (a capture killed mid-write) never parses as complete, and bytes
+after the marker raise — concatenation or header corruption cannot
+silently drop records.
+
+With the :mod:`repro.vec` switch on (the default), record deserialization
+runs batched: the reader parses each record span with one
 structured-array gather and builds requests through trusted batch
 construction (see :func:`repro.common.types.request_unchecked`) after
 numpy validates every record at once.  The byte format — and every error
@@ -38,20 +58,36 @@ from __future__ import annotations
 import gc
 import io
 import struct
+import zlib
+from itertools import islice
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
+from typing import BinaryIO, Dict, Iterable, Iterator, List, Tuple, Union
 
 import numpy as np
 
+from ..common.atomic import atomic_binary_writer
 from ..common.errors import TraceFormatError
 from ..common.types import CACHE_LINE_SIZE, AccessType, MemoryRequest
 from ..vec import flags as _vec
 
 MAGIC = b"ESDTRACE"
 VERSION = 1
+VERSION_V2 = 2
+DEFAULT_VERSION = VERSION_V2
+
+#: Version-2 header flag bit: chunk payloads are zlib-compressed.
+FLAG_ZLIB = 0x0001
+_KNOWN_FLAGS = FLAG_ZLIB
+
+#: Records per version-2 chunk frame.  Bounds writer and reader memory to
+#: ~``chunk_records``  x 88 bytes (plus the boxed request objects of one
+#: chunk) regardless of trace length.
+DEFAULT_CHUNK_RECORDS = 16384
 
 _HEADER = struct.Struct("<8sHHQ")
 _RECORD_FIXED = struct.Struct("<BBHIQd")
+_CHUNK_FRAME = struct.Struct("<III")
+_FOOTER = struct.Struct("<Q")
 
 #: Numpy mirror of ``_RECORD_FIXED`` (packed little-endian, 24 bytes).
 _FIXED_DTYPE = np.dtype([("kind", "u1"), ("core", "u1"), ("reserved", "<u2"),
@@ -67,48 +103,164 @@ _FIXED_COLS = np.arange(_RECORD_FIXED.size)
 #: collector's pauses stay flat on 10^5+-record traces.
 _PARSE_CHUNK = 1 << 15
 
+#: Module-level trace-IO counters (process-global, like the memo-cache
+#: stats): trace files are read and written outside any simulation run,
+#: so these cannot live on the per-run obs registry.  Snapshot with
+#: :func:`trace_io_stats`.
+_IO_COUNTERS: Dict[str, int] = {
+    "traces_written": 0,
+    "traces_read": 0,
+    "records_written": 0,
+    "records_read": 0,
+    "chunks_written": 0,
+    "chunks_read": 0,
+    "payload_bytes_written": 0,
+    "stored_bytes_written": 0,
+    "captures_finalized": 0,
+}
+
+
+def trace_io_stats() -> Dict[str, int]:
+    """Snapshot of the process-global trace-IO counters."""
+    return dict(_IO_COUNTERS)
+
+
+def reset_trace_io_stats() -> None:
+    """Zero the trace-IO counters (testing/benchmark helper)."""
+    for key in _IO_COUNTERS:
+        _IO_COUNTERS[key] = 0
+
 
 def _pack_records(requests: Iterable[MemoryRequest]) -> Tuple[bytes, int]:
     """Record packer: one ``struct.pack`` per record.
 
     Used in both modes — see the module docstring for why a batched
     numpy packer measured slower.
+
+    Raises:
+        TraceFormatError: when a write request carries no 64-byte payload
+            or a read request carries one — a malformed request must fail
+            loudly here, not as an opaque ``TypeError`` inside the join
+            (and must keep failing under ``python -O``, which strips
+            ``assert``).
     """
     pack_record = _RECORD_FIXED.pack
     chunks = []
     count = 0
     for req in requests:
         if req.is_write:
-            assert req.data is not None
+            data = req.data
+            if not isinstance(data, (bytes, bytearray)) \
+                    or len(data) != CACHE_LINE_SIZE:
+                raise TraceFormatError(
+                    f"write request seq={req.seq} has no "
+                    f"{CACHE_LINE_SIZE}-byte payload")
             chunks.append(pack_record(1, req.core, 0, req.seq,
                                       req.address, req.issue_time_ns))
-            chunks.append(req.data)
+            chunks.append(bytes(data))
         else:
+            if req.data is not None:
+                raise TraceFormatError(
+                    f"read request seq={req.seq} carries a payload")
             chunks.append(pack_record(0, req.core, 0, req.seq,
                                       req.address, req.issue_time_ns))
         count += 1
     return b"".join(chunks), count
 
 
+def _write_trace_v1(requests: Iterable[MemoryRequest], fh: BinaryIO) -> int:
+    """Legacy single-buffer writer: header with final count, then records."""
+    payload, count = _pack_records(requests)
+    fh.write(_HEADER.pack(MAGIC, VERSION, 0, count))
+    fh.write(payload)
+    _IO_COUNTERS["traces_written"] += 1
+    _IO_COUNTERS["records_written"] += count
+    _IO_COUNTERS["chunks_written"] += 1
+    _IO_COUNTERS["payload_bytes_written"] += len(payload)
+    _IO_COUNTERS["stored_bytes_written"] += len(payload)
+    return count
+
+
+def _write_trace_v2(requests: Iterable[MemoryRequest], fh: BinaryIO, *,
+                    compress: bool, chunk_records: int) -> int:
+    """Streaming chunked writer: bounded memory from any iterator."""
+    if chunk_records <= 0:
+        raise TraceFormatError(
+            f"chunk_records must be positive, got {chunk_records}")
+    flags = FLAG_ZLIB if compress else 0
+    fh.write(_HEADER.pack(MAGIC, VERSION_V2, flags, 0))
+    source = iter(requests)
+    total = 0
+    while True:
+        payload, count = _pack_records(islice(source, chunk_records))
+        if count == 0:
+            break
+        stored = zlib.compress(payload, 6) if compress else payload
+        fh.write(_CHUNK_FRAME.pack(count, len(payload), len(stored)))
+        fh.write(stored)
+        total += count
+        _IO_COUNTERS["chunks_written"] += 1
+        _IO_COUNTERS["payload_bytes_written"] += len(payload)
+        _IO_COUNTERS["stored_bytes_written"] += len(stored)
+    fh.write(_CHUNK_FRAME.pack(0, 0, _FOOTER.size))
+    fh.write(_FOOTER.pack(total))
+    _IO_COUNTERS["traces_written"] += 1
+    _IO_COUNTERS["records_written"] += total
+    return total
+
+
 def write_trace(requests: Iterable[MemoryRequest],
-                destination: Union[str, Path, BinaryIO]) -> int:
+                destination: Union[str, Path, BinaryIO], *,
+                version: int = DEFAULT_VERSION,
+                compress: bool = False,
+                chunk_records: int = DEFAULT_CHUNK_RECORDS) -> int:
     """Serialize a request stream; returns the record count written.
 
-    Records are packed into an in-memory buffer and flushed with two
-    writes (header, then all records), instead of two-plus syscalls per
-    record.  The header is written once with the final count, so
-    non-seekable destinations work.
+    With ``version=2`` (the default) records stream to the destination in
+    ``chunk_records``-sized frames, so any iterator — including a live
+    generator — serializes in bounded memory; ``compress=True`` zlib-
+    compresses each frame.  ``version=1`` writes the legacy single-buffer
+    format (whole payload materialized; no compression).
+
+    Raises:
+        TraceFormatError: on an unsupported version, compression on a v1
+            container, or a malformed request in the stream.
     """
-    payload, count = _pack_records(requests)
+    if version not in (VERSION, VERSION_V2):
+        raise TraceFormatError(f"unsupported version {version}")
+    if compress and version != VERSION_V2:
+        raise TraceFormatError("compression requires trace format v2")
     own = isinstance(destination, (str, Path))
     fh: BinaryIO = open(destination, "wb") if own else destination  # type: ignore[arg-type]
     try:
-        fh.write(_HEADER.pack(MAGIC, VERSION, 0, count))
-        fh.write(payload)
-        return count
+        if version == VERSION:
+            return _write_trace_v1(requests, fh)
+        return _write_trace_v2(requests, fh, compress=compress,
+                               chunk_records=chunk_records)
     finally:
         if own:
             fh.close()
+
+
+def capture_trace(requests: Iterable[MemoryRequest],
+                  path: Union[str, Path], *,
+                  version: int = DEFAULT_VERSION,
+                  compress: bool = False,
+                  chunk_records: int = DEFAULT_CHUNK_RECORDS) -> int:
+    """Stream a request iterator into an atomically-finalized trace file.
+
+    The capture writes through a same-directory temp file and only
+    renames it onto ``path`` (fsync before and after) once the end-of-
+    trace marker is on disk — a capture killed mid-write leaves either no
+    file or the previous complete file at ``path``, never a torn trace
+    that parses as complete.  Returns the record count captured.
+    """
+    path = Path(path)
+    with atomic_binary_writer(path) as fh:
+        count = write_trace(requests, fh, version=version,
+                            compress=compress, chunk_records=chunk_records)
+    _IO_COUNTERS["captures_finalized"] += 1
+    return count
 
 
 def _parse_records(buf: bytes, count: int) -> Iterator[MemoryRequest]:
@@ -136,6 +288,34 @@ def _parse_records(buf: bytes, count: int) -> Iterator[MemoryRequest]:
                                 issue_time_ns=issue, core=core, seq=seq)
         else:
             raise TraceFormatError(f"unknown record kind {kind}")
+    if offset != total:
+        raise TraceFormatError(
+            f"trailing bytes: {total - offset} after {count} records")
+
+
+def _batch_invariants_ok(rec: np.ndarray, offs: np.ndarray,
+                         total: int) -> bool:
+    """Batch-check every ``MemoryRequest.__post_init__`` invariant.
+
+    The vectorized parser bypasses dataclass validation via trusted
+    construction, so the full invariant set — alignment, address sign,
+    and write-payload length — must hold for the whole batch first.  Any
+    violation sends the caller to the scalar replay, which raises the
+    exact per-record error.  (Record kinds are already pinned to {0, 1}
+    by the offset scan.)
+    """
+    address = rec["address"]
+    if np.any(address % CACHE_LINE_SIZE):
+        return False
+    # u64 addresses >= 2**63 read back as huge Python ints the dataclass
+    # would accept, but keep the trusted path conservative: anything that
+    # looks negative in a signed view goes through the reference parser.
+    if np.any(address.astype(np.int64, copy=False) < 0):
+        return False
+    writes = rec["kind"] == 1
+    if np.any(offs[writes] + _RECORD_FIXED.size + CACHE_LINE_SIZE > total):
+        return False
+    return True
 
 
 def _parse_records_vectorized(buf: bytes,
@@ -146,9 +326,10 @@ def _parse_records_vectorized(buf: bytes,
     records), so a cheap sequential scan walks the kinds first — raising
     the same :class:`TraceFormatError` at the same record as the reference
     parser — then the fixed fields of *all* records are gathered and
-    decoded in one numpy pass.  Dataclass invariants are batch-checked;
-    any violation falls back to the reference parser so the error (type,
-    message, failing record) matches exactly.
+    decoded in one numpy pass.  Dataclass invariants are batch-checked
+    (see :func:`_batch_invariants_ok`); any violation falls back to the
+    reference parser so the error (type, message, failing record) matches
+    exactly.
     """
     total = len(buf)
     fixed_size = _RECORD_FIXED.size
@@ -169,10 +350,13 @@ def _parse_records_vectorized(buf: bytes,
             offset += fixed_size
         else:
             raise TraceFormatError(f"unknown record kind {kind}")
+    if offset != total:
+        raise TraceFormatError(
+            f"trailing bytes: {total - offset} after {count} records")
     offs = np.asarray(offsets, dtype=np.int64)
     arr = np.frombuffer(buf, dtype=np.uint8)
     rec = arr[offs[:, None] + _FIXED_COLS].reshape(-1).view(_FIXED_DTYPE)
-    if np.any(rec["address"] % CACHE_LINE_SIZE):
+    if not _batch_invariants_ok(rec, offs, total):
         # A record violates the request invariants; let the reference
         # parser raise the exact per-record ValueError.  Nothing has been
         # yielded yet, so the scalar replay reproduces the whole stream up
@@ -224,17 +408,111 @@ def _parse_records_vectorized(buf: bytes,
         yield from requests
 
 
+def _read_records_v2(fh: BinaryIO, flags: int,
+                     vec: bool) -> Iterator[MemoryRequest]:
+    """Chunk-by-chunk v2 decoder; validates the marker frame and footer."""
+    if flags & ~_KNOWN_FLAGS:
+        raise TraceFormatError(f"unknown trace flags {flags:#06x}")
+    compressed = bool(flags & FLAG_ZLIB)
+    parse = _parse_records_vectorized if vec else _parse_records
+    total = 0
+    chunk_index = 0
+    while True:
+        frame = fh.read(_CHUNK_FRAME.size)
+        if len(frame) != _CHUNK_FRAME.size:
+            raise TraceFormatError(
+                f"truncated chunk frame {chunk_index} (missing end-of-trace "
+                f"marker after {total} records)")
+        count, raw_len, stored_len = _CHUNK_FRAME.unpack(frame)
+        stored = fh.read(stored_len)
+        if len(stored) != stored_len:
+            raise TraceFormatError(f"truncated chunk {chunk_index}")
+        if count == 0:
+            if raw_len != 0 or stored_len != _FOOTER.size:
+                raise TraceFormatError("malformed end-of-trace marker")
+            (declared,) = _FOOTER.unpack(stored)
+            if declared != total:
+                raise TraceFormatError(
+                    f"record count mismatch: marker declares {declared}, "
+                    f"chunks held {total}")
+            if fh.read(1):
+                raise TraceFormatError(
+                    "trailing bytes: data after end-of-trace marker")
+            _IO_COUNTERS["traces_read"] += 1
+            return
+        if compressed:
+            try:
+                payload = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"corrupt compressed chunk {chunk_index}: {exc}") from exc
+        else:
+            payload = stored
+        if len(payload) != raw_len:
+            raise TraceFormatError(
+                f"chunk {chunk_index} length mismatch: frame declares "
+                f"{raw_len} bytes, stored payload is {len(payload)}")
+        yield from parse(payload, count)
+        total += count
+        chunk_index += 1
+        _IO_COUNTERS["chunks_read"] += 1
+        _IO_COUNTERS["records_read"] += count
+
+
 def read_trace(source: Union[str, Path, BinaryIO]) -> Iterator[MemoryRequest]:
     """Deserialize a trace, yielding requests in order.
 
-    Batched: the record stream is read into memory with one ``read`` and
-    parsed with ``unpack_from`` offsets — or, with :mod:`repro.vec`
-    enabled, decoded by the batched numpy parser.  Like the per-record
-    reader both replaced, this is a generator: nothing is read until the
-    first request is drawn.
+    Version-1 files are read into memory with one ``read`` and parsed
+    with ``unpack_from`` offsets — or, with :mod:`repro.vec` enabled,
+    decoded by the batched numpy parser.  Version-2 files decode chunk by
+    chunk in bounded memory (same parser dispatch per chunk).  Like the
+    per-record reader both replaced, this is a generator: nothing is read
+    until the first request is drawn, and the file handle stays open only
+    while the generator is live.
 
     Raises:
-        TraceFormatError: on bad magic, version, or truncated records.
+        TraceFormatError: on bad magic, version, flags, truncated or
+            trailing records, or a missing end-of-trace marker (v2).
+    """
+    own = isinstance(source, (str, Path))
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[arg-type]
+    try:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("truncated header")
+        magic, version, flags, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version == VERSION:
+            buf = fh.read()
+            vec = _vec.ENABLED
+            if vec:
+                yield from _parse_records_vectorized(buf, count)
+            else:
+                yield from _parse_records(buf, count)
+            _IO_COUNTERS["traces_read"] += 1
+            _IO_COUNTERS["chunks_read"] += 1
+            _IO_COUNTERS["records_read"] += count
+        elif version == VERSION_V2:
+            yield from _read_records_v2(fh, flags, _vec.ENABLED)
+        else:
+            raise TraceFormatError(f"unsupported version {version}")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_trace_list(source: Union[str, Path, BinaryIO]) -> List[MemoryRequest]:
+    """Deserialize a whole trace into a list."""
+    return list(read_trace(source))
+
+
+def trace_record_count(source: Union[str, Path, BinaryIO]) -> int:
+    """Return a trace file's record count without decoding records.
+
+    v1 stores the count in the header; v2 walks the chunk frames
+    (seeking over the stored bytes) and cross-checks the footer, so a
+    truncated capture raises instead of reporting a partial count.
     """
     own = isinstance(source, (str, Path))
     fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[arg-type]
@@ -245,26 +523,49 @@ def read_trace(source: Union[str, Path, BinaryIO]) -> Iterator[MemoryRequest]:
         magic, version, _, count = _HEADER.unpack(header)
         if magic != MAGIC:
             raise TraceFormatError(f"bad magic {magic!r}")
-        if version != VERSION:
+        if version == VERSION:
+            return count
+        if version != VERSION_V2:
             raise TraceFormatError(f"unsupported version {version}")
-        buf = fh.read()
+        total = 0
+        chunk_index = 0
+        while True:
+            frame = fh.read(_CHUNK_FRAME.size)
+            if len(frame) != _CHUNK_FRAME.size:
+                raise TraceFormatError(
+                    f"truncated chunk frame {chunk_index} (missing "
+                    f"end-of-trace marker after {total} records)")
+            records, raw_len, stored_len = _CHUNK_FRAME.unpack(frame)
+            if records == 0:
+                stored = fh.read(stored_len)
+                if raw_len != 0 or stored_len != _FOOTER.size \
+                        or len(stored) != stored_len:
+                    raise TraceFormatError("malformed end-of-trace marker")
+                (declared,) = _FOOTER.unpack(stored)
+                if declared != total:
+                    raise TraceFormatError(
+                        f"record count mismatch: marker declares {declared}, "
+                        f"chunks held {total}")
+                if fh.read(1):
+                    raise TraceFormatError(
+                        "trailing bytes: data after end-of-trace marker")
+                return total
+            if fh.seekable():
+                fh.seek(stored_len, io.SEEK_CUR)
+            elif len(fh.read(stored_len)) != stored_len:
+                raise TraceFormatError(f"truncated chunk {chunk_index}")
+            total += records
+            chunk_index += 1
     finally:
         if own:
             fh.close()
-    if _vec.ENABLED:
-        yield from _parse_records_vectorized(buf, count)
-    else:
-        yield from _parse_records(buf, count)
 
 
-def read_trace_list(source: Union[str, Path, BinaryIO]) -> List[MemoryRequest]:
-    """Deserialize a whole trace into a list."""
-    return list(read_trace(source))
-
-
-def roundtrip_bytes(requests: List[MemoryRequest]) -> List[MemoryRequest]:
+def roundtrip_bytes(requests: List[MemoryRequest], *,
+                    version: int = DEFAULT_VERSION,
+                    compress: bool = False) -> List[MemoryRequest]:
     """Serialize to memory and read back (testing helper)."""
     buf = io.BytesIO()
-    write_trace(requests, buf)
+    write_trace(requests, buf, version=version, compress=compress)
     buf.seek(0)
     return read_trace_list(buf)

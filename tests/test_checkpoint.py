@@ -1,0 +1,165 @@
+"""Tests for mid-run session checkpoints and bit-exact resume."""
+
+from dataclasses import replace
+from itertools import islice
+
+import pytest
+
+from repro.common import small_test_config
+from repro.common.errors import CheckpointError, SessionError
+from repro.dedup import make_scheme
+from repro.perf import memo
+from repro.sim.checkpoint import (
+    CHECKPOINT_MAGIC,
+    checkpoint_bytes,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.export import result_state_bytes
+from repro.sim.session import Session
+from repro.workloads.generator import TraceGenerator
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    memo.reset_all()
+    yield
+    memo.reset_all()
+
+
+def _mode_config(fast, vec):
+    return replace(small_test_config(), use_fastpath=fast,
+                   use_vectorized=vec)
+
+
+def _trace(n=2_600, app="gcc", seed=7):
+    return TraceGenerator(app, seed=seed).generate_list(n)
+
+
+def _direct_state(trace, scheme_name, config, app="gcc"):
+    engine = SimulationEngine(make_scheme(scheme_name, config),
+                              EngineConfig())
+    result = engine.run(iter(trace), app=app, total_hint=len(trace))
+    return result_state_bytes(result)
+
+
+def _resumed_state(trace, scheme_name, config, cut, app="gcc"):
+    """Checkpoint at ``cut``, dirty the process, restore, finish."""
+    engine = SimulationEngine(make_scheme(scheme_name, config),
+                              EngineConfig())
+    session = engine.open_session(app=app, total_hint=len(trace))
+    stream = iter(trace)
+    session.feed(islice(stream, cut))
+    blob = session.checkpoint()
+    # Deliberately dirty every piece of process-global state a resume
+    # must overwrite: memo caches via an unrelated run.
+    other = SimulationEngine(make_scheme("Baseline", small_test_config()))
+    other.run(iter(_trace(400, app="lbm", seed=9)), app="lbm",
+              total_hint=400)
+    restored = Session.restore(blob)
+    skip = restored.consumed
+    replay = iter(trace)
+    for _ in range(skip):
+        next(replay)
+    restored.feed(replay)
+    return result_state_bytes(restored.finalize())
+
+
+class TestBitExactResume:
+    @pytest.mark.parametrize("scheme_name", ["ESD", "NV-Dedup", "DeWrite"])
+    @pytest.mark.parametrize("fast,vec", [(True, True), (True, False),
+                                          (False, False)])
+    def test_resume_matches_direct(self, scheme_name, fast, vec):
+        trace = _trace()
+        config = _mode_config(fast, vec)
+        direct = _direct_state(trace, scheme_name, config)
+        resumed = _resumed_state(trace, scheme_name, config, cut=1_337)
+        assert direct == resumed
+
+    def test_vec_pending_tail_checkpoints(self):
+        """A cut inside an epoch must carry the buffered tail."""
+        trace = _trace(1_500)
+        config = _mode_config(True, True)
+        engine = SimulationEngine(make_scheme("ESD", config), EngineConfig())
+        session = engine.open_session(app="gcc", total_hint=len(trace))
+        session.feed(islice(iter(trace), 1_100))
+        assert session.pending > 0  # mid-epoch: tail buffered, not flushed
+        assert session.consumed == 1_100
+        direct = _direct_state(trace, "ESD", config)
+        resumed = _resumed_state(trace, "ESD", config, cut=1_100)
+        assert direct == resumed
+
+    def test_checkpoint_is_pure_snapshot(self):
+        """Checkpointing must not perturb the continuing session."""
+        trace = _trace(1_800)
+        config = _mode_config(True, True)
+        engine = SimulationEngine(make_scheme("ESD", config), EngineConfig())
+        session = engine.open_session(app="gcc", total_hint=len(trace))
+        stream = iter(trace)
+        session.feed(islice(stream, 600))
+        session.checkpoint()
+        session.checkpoint()
+        session.feed(stream)
+        with_ckpt = result_state_bytes(session.finalize())
+        assert with_ckpt == _direct_state(trace, "ESD", config)
+
+
+class TestCheckpointContainer:
+    def _session_blob(self, cut=500):
+        trace = _trace(1_000)
+        engine = SimulationEngine(make_scheme("ESD", small_test_config()),
+                                  EngineConfig())
+        session = engine.open_session(app="gcc", total_hint=len(trace))
+        session.feed(islice(iter(trace), cut))
+        return session.checkpoint()
+
+    def test_meta(self):
+        blob = self._session_blob(cut=500)
+        restored = load_checkpoint(blob)
+        assert restored.meta["app"] == "gcc"
+        assert restored.meta["scheme"] == "ESD"
+        assert restored.consumed == 500
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = _trace(900)
+        engine = SimulationEngine(make_scheme("ESD", small_test_config()),
+                                  EngineConfig())
+        session = engine.open_session(app="gcc", total_hint=len(trace))
+        session.feed(islice(iter(trace), 400))
+        path = tmp_path / "run.ckpt"
+        write_checkpoint(session, path)
+        assert load_checkpoint(path).consumed == 400
+        # Atomic finalize leaves no temp litter.
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+
+    def test_finalized_session_rejected(self):
+        trace = _trace(300)
+        engine = SimulationEngine(make_scheme("ESD", small_test_config()),
+                                  EngineConfig())
+        session = engine.open_session(app="gcc", total_hint=len(trace))
+        session.feed(iter(trace))
+        session.finalize()
+        with pytest.raises(SessionError):
+            checkpoint_bytes(session)
+
+    def test_bad_magic(self):
+        blob = bytearray(self._session_blob())
+        blob[:8] = b"NOTACKPT"
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(bytes(blob))
+
+    def test_truncated(self):
+        blob = self._session_blob()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(blob[: len(blob) // 2])
+
+    def test_payload_corruption_caught_by_crc(self):
+        blob = bytearray(self._session_blob())
+        blob[-1] ^= 0xFF
+        with pytest.raises(CheckpointError, match="checksum|CRC|crc"):
+            load_checkpoint(bytes(blob))
+
+    def test_short_header(self):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(CHECKPOINT_MAGIC)

@@ -105,3 +105,55 @@ class TestPhasedThroughSchemes:
         # Across a hard behaviour shift the predictor still ends usefully
         # above chance.
         assert scheme.predictor.stats.accuracy > 0.55
+
+
+class TestPhaseBoundaryContinuity:
+    """Satellite: the rebased clock at phase seams (zero-gap ties too)."""
+
+    def test_no_backwards_clock_at_boundary(self):
+        gen = PhasedTraceGenerator([("deepsjeng", 400), ("namd", 400)],
+                                   seed=21)
+        trace = gen.generate_list()
+        first_max = max(r.issue_time_ns for r in trace[:400])
+        assert all(r.issue_time_ns >= first_max for r in trace[400:])
+
+    def test_zero_interarrival_tie_carries_clock(self, monkeypatch):
+        """A phase ending in zero-gap ties must not rewind the next one.
+
+        The stub's second request issues at the same instant as an
+        *earlier* peak (a tie after an out-of-order-looking burst); the
+        next phase has to rebase off the phase's max issue time, not the
+        last request's.
+        """
+        from repro.common.types import AccessType, request_unchecked
+        from repro.workloads import phases as phases_mod
+
+        class StubGenerator:
+            def __init__(self, app, seed=0):
+                self.app = app
+
+            def generate(self, requests):
+                times = [5.0, 5.0, 2.0][:requests]
+                for i, t in enumerate(times):
+                    yield request_unchecked(i * 64, AccessType.READ, None,
+                                            t, 0, i + 1)
+
+        monkeypatch.setattr(phases_mod, "TraceGenerator", StubGenerator)
+        gen = PhasedTraceGenerator([("gcc", 3), ("lbm", 3)], seed=1)
+        trace = gen.generate_list()
+        times = [r.issue_time_ns for r in trace]
+        # Phase 1 peaks at 5.0; phase 2 must start at 5.0 + its own
+        # offsets, never below the peak.
+        assert times[:3] == [5.0, 5.0, 2.0]
+        assert times[3:] == [10.0, 10.0, 7.0]
+        assert [r.seq for r in trace] == list(range(1, 7))
+
+    def test_rebased_requests_preserve_payloads(self):
+        """Trusted rebase must keep address/data/core bit-identical."""
+        from repro.workloads.generator import TraceGenerator
+        phase_len = 250
+        gen = PhasedTraceGenerator([("gcc", phase_len)], seed=33)
+        rebased = gen.generate_list()
+        raw = list(TraceGenerator("gcc", seed=33 * 17).generate(phase_len))
+        assert [(a.address, a.access, a.data, a.core) for a in rebased] == \
+               [(b.address, b.access, b.data, b.core) for b in raw]

@@ -1,16 +1,27 @@
 """Tests for trace serialization."""
 
 import io
+import random
+import struct
 
 import pytest
 
 from repro.common.errors import TraceFormatError
-from repro.common.types import AccessType, MemoryRequest
+from repro.common.types import (
+    AccessType,
+    MemoryRequest,
+    request_unchecked,
+)
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.trace import (
     MAGIC,
+    _pack_records,
+    _parse_records,
+    _parse_records_vectorized,
+    capture_trace,
     read_trace_list,
     roundtrip_bytes,
+    trace_record_count,
     write_trace,
 )
 
@@ -81,3 +92,263 @@ class TestFormatErrors:
         raw[8] = 99  # version field
         with pytest.raises(TraceFormatError):
             read_trace_list(io.BytesIO(bytes(raw)))
+
+
+def _keys(requests):
+    return [(r.address, r.access, r.data, r.issue_time_ns, r.core, r.seq)
+            for r in requests]
+
+
+def _v2_blob(requests, **kwargs):
+    buf = io.BytesIO()
+    write_trace(requests, buf, version=2, **kwargs)
+    return buf.getvalue()
+
+
+class TestV2Container:
+    """The chunked (optionally compressed) version-2 container."""
+
+    def test_v1_v2_decode_identically(self):
+        original = TraceGenerator("gcc", seed=3).generate_list(500)
+        assert _keys(roundtrip_bytes(original, version=1)) == \
+               _keys(roundtrip_bytes(original, version=2)) == _keys(original)
+
+    def test_compressed_roundtrip_smaller(self):
+        original = TraceGenerator("deepsjeng", seed=5).generate_list(800)
+        plain = _v2_blob(original)
+        packed = _v2_blob(original, compress=True)
+        assert len(packed) < len(plain)
+        assert _keys(read_trace_list(io.BytesIO(packed))) == _keys(original)
+
+    @pytest.mark.parametrize("chunk_records", [1, 7, 100, 101, 4096])
+    def test_chunk_boundaries(self, chunk_records):
+        """Framing changes with chunk size; decoded requests never do."""
+        original = TraceGenerator("lbm", seed=7).generate_list(101)
+        blob = _v2_blob(original, chunk_records=chunk_records)
+        assert _keys(read_trace_list(io.BytesIO(blob))) == _keys(original)
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_empty_trace(self, compress):
+        blob = _v2_blob([], compress=compress)
+        assert read_trace_list(io.BytesIO(blob)) == []
+        assert trace_record_count(io.BytesIO(blob)) == 0
+
+    def test_streaming_writer_takes_iterator(self, tmp_path):
+        """write_trace must accept a generator (no len, one pass)."""
+        path = tmp_path / "stream.esdtrace"
+        count = write_trace(TraceGenerator("x264", seed=9).generate(300),
+                            path, chunk_records=64)
+        assert count == 300
+        assert trace_record_count(path) == 300
+
+    @pytest.mark.parametrize("vec", [False, True])
+    def test_parser_parity_across_modes(self, monkeypatch, vec):
+        from repro.vec import flags as vec_flags
+        original = TraceGenerator("gcc", seed=11).generate_list(257)
+        blob = _v2_blob(original, compress=True, chunk_records=50)
+        monkeypatch.setattr(vec_flags, "ENABLED", vec)
+        assert _keys(read_trace_list(io.BytesIO(blob))) == _keys(original)
+
+    def test_bad_chunk_records(self):
+        with pytest.raises(TraceFormatError):
+            write_trace([], io.BytesIO(), version=2, chunk_records=0)
+
+    def test_compress_requires_v2(self):
+        with pytest.raises(TraceFormatError, match="v2"):
+            write_trace([], io.BytesIO(), version=1, compress=True)
+
+    def test_unsupported_write_version(self):
+        with pytest.raises(TraceFormatError):
+            write_trace([], io.BytesIO(), version=3)
+
+
+class TestTraceRecordCount:
+    def test_v1(self):
+        buf = io.BytesIO()
+        write_trace(sample_requests(), buf, version=1)
+        buf.seek(0)
+        assert trace_record_count(buf) == 2
+
+    def test_v2_multi_chunk(self):
+        original = TraceGenerator("gcc", seed=3).generate_list(130)
+        blob = _v2_blob(original, chunk_records=32)
+        assert trace_record_count(io.BytesIO(blob)) == 130
+
+    def test_truncated_v2_raises(self):
+        blob = _v2_blob(sample_requests())
+        with pytest.raises(TraceFormatError, match="end-of-trace"):
+            trace_record_count(io.BytesIO(blob[:-20]))
+
+    def test_footer_mismatch_raises(self):
+        blob = bytearray(_v2_blob(sample_requests()))
+        struct.pack_into("<Q", blob, len(blob) - 8, 99)
+        with pytest.raises(TraceFormatError, match="count mismatch"):
+            trace_record_count(io.BytesIO(bytes(blob)))
+
+
+class TestCaptureTrace:
+    def test_capture_and_read(self, tmp_path):
+        path = tmp_path / "cap.esdtrace"
+        original = TraceGenerator("gcc", seed=3).generate_list(64)
+        assert capture_trace(iter(original), path, compress=True) == 64
+        assert _keys(read_trace_list(path)) == _keys(original)
+        # No temp litter once the capture finalized.
+        assert [p.name for p in tmp_path.iterdir()] == ["cap.esdtrace"]
+
+    def test_failed_capture_leaves_no_file(self, tmp_path):
+        path = tmp_path / "cap.esdtrace"
+
+        def exploding():
+            yield from sample_requests()
+            raise RuntimeError("source died")
+
+        with pytest.raises(RuntimeError):
+            capture_trace(exploding(), path)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPackRecordErrors:
+    """Satellite 1: the packer raises typed errors, not bare asserts."""
+
+    def test_write_without_payload(self):
+        bad = request_unchecked(0, AccessType.WRITE, None, 1.0, 0, 1)
+        with pytest.raises(TraceFormatError, match="no 64-byte payload"):
+            _pack_records([bad])
+
+    def test_write_with_short_payload(self):
+        bad = request_unchecked(0, AccessType.WRITE, b"\x01" * 8, 1.0, 0, 1)
+        with pytest.raises(TraceFormatError, match="no 64-byte payload"):
+            _pack_records([bad])
+
+    def test_read_with_payload(self):
+        bad = request_unchecked(0, AccessType.READ, bytes(64), 1.0, 0, 1)
+        with pytest.raises(TraceFormatError, match="carries a payload"):
+            _pack_records([bad])
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_surfaces_through_write_trace(self, version):
+        bad = request_unchecked(0, AccessType.WRITE, None, 1.0, 0, 1)
+        with pytest.raises(TraceFormatError):
+            write_trace([bad], io.BytesIO(), version=version)
+
+    def test_runs_under_optimized_mode(self):
+        """The check must survive ``python -O`` (it is not an assert)."""
+        import subprocess
+        import sys
+        code = ("from repro.common.types import AccessType, "
+                "request_unchecked\n"
+                "from repro.common.errors import TraceFormatError\n"
+                "from repro.workloads.trace import _pack_records\n"
+                "bad = request_unchecked(0, AccessType.WRITE, None, "
+                "1.0, 0, 1)\n"
+                "try:\n"
+                "    _pack_records([bad])\n"
+                "except TraceFormatError:\n"
+                "    raise SystemExit(0)\n"
+                "raise SystemExit(1)\n")
+        proc = subprocess.run([sys.executable, "-O", "-c", code])
+        assert proc.returncode == 0
+
+
+class TestTrailingBytes:
+    """Satellite 2: stray bytes past the declared records must raise."""
+
+    def _v1_blob(self, requests):
+        buf = io.BytesIO()
+        write_trace(requests, buf, version=1)
+        return buf.getvalue()
+
+    @pytest.mark.parametrize("vec", [False, True])
+    def test_v1_trailing_bytes(self, monkeypatch, vec):
+        from repro.vec import flags as vec_flags
+        monkeypatch.setattr(vec_flags, "ENABLED", vec)
+        blob = self._v1_blob(sample_requests()) + b"\x00" * 7
+        with pytest.raises(TraceFormatError, match="trailing bytes"):
+            read_trace_list(io.BytesIO(blob))
+
+    def test_v1_error_parity_between_parsers(self):
+        blob = self._v1_blob(sample_requests())[20:] + b"\xff" * 3
+        with pytest.raises(TraceFormatError) as scalar_err:
+            list(_parse_records(blob, 2))
+        with pytest.raises(TraceFormatError) as vec_err:
+            list(_parse_records_vectorized(blob, 2))
+        assert str(scalar_err.value) == str(vec_err.value)
+
+    @pytest.mark.parametrize("vec", [False, True])
+    def test_v2_trailing_bytes(self, monkeypatch, vec):
+        from repro.vec import flags as vec_flags
+        monkeypatch.setattr(vec_flags, "ENABLED", vec)
+        blob = _v2_blob(sample_requests()) + b"junk"
+        with pytest.raises(TraceFormatError, match="trailing bytes"):
+            read_trace_list(io.BytesIO(blob))
+
+
+class TestV2FormatErrors:
+    def test_missing_end_marker(self):
+        blob = _v2_blob(sample_requests())
+        with pytest.raises(TraceFormatError, match="end-of-trace"):
+            read_trace_list(io.BytesIO(blob[:-20]))
+
+    def test_unknown_flags(self):
+        blob = bytearray(_v2_blob(sample_requests()))
+        struct.pack_into("<H", blob, 10, 0x8000)  # header flags field
+        with pytest.raises(TraceFormatError, match="unknown trace flags"):
+            read_trace_list(io.BytesIO(bytes(blob)))
+
+    def test_footer_count_mismatch(self):
+        blob = bytearray(_v2_blob(sample_requests()))
+        struct.pack_into("<Q", blob, len(blob) - 8, 7)
+        with pytest.raises(TraceFormatError, match="count mismatch"):
+            read_trace_list(io.BytesIO(bytes(blob)))
+
+    def test_corrupt_compressed_chunk(self):
+        blob = bytearray(_v2_blob(sample_requests(), compress=True))
+        # Header is 20 bytes, the chunk frame 12; the zlib stream starts
+        # at 32.  Flip a byte in its middle.
+        _, _, stored_len = struct.unpack_from("<III", blob, 20)
+        blob[32 + stored_len // 2] ^= 0xFF
+        with pytest.raises(TraceFormatError,
+                           match="corrupt compressed chunk"):
+            read_trace_list(io.BytesIO(bytes(blob)))
+
+    def test_chunk_length_mismatch(self):
+        blob = bytearray(_v2_blob(sample_requests()))
+        # First chunk frame starts right after the 20-byte header:
+        # (count, raw_len, stored_len).  Lie about raw_len.
+        count, raw_len, stored_len = struct.unpack_from("<III", blob, 20)
+        struct.pack_into("<III", blob, 20, count, raw_len + 1, stored_len)
+        with pytest.raises(TraceFormatError, match="length mismatch"):
+            read_trace_list(io.BytesIO(bytes(blob)))
+
+
+class TestMalformedRecordFuzz:
+    """Satellite 3: both parsers agree on every corrupted payload."""
+
+    def _outcome(self, parser, payload, count):
+        try:
+            return ("ok", _keys(parser(payload, count)))
+        except (TraceFormatError, ValueError) as exc:
+            return ("err", type(exc).__name__, str(exc))
+
+    def test_single_byte_corruptions_agree(self):
+        original = TraceGenerator("gcc", seed=3).generate_list(40)
+        payload, count = _pack_records(original)
+        rng = random.Random(20230)
+        positions = rng.sample(range(len(payload)), 120)
+        for pos in positions:
+            mutated = bytearray(payload)
+            mutated[pos] ^= 0xFF
+            mutated = bytes(mutated)
+            scalar = self._outcome(_parse_records, mutated, count)
+            vec = self._outcome(_parse_records_vectorized, mutated, count)
+            assert scalar == vec, (
+                f"parser divergence at byte {pos}: {scalar} != {vec}")
+
+    def test_truncations_agree(self):
+        original = TraceGenerator("lbm", seed=5).generate_list(12)
+        payload, count = _pack_records(original)
+        for cut in range(0, len(payload), 41):
+            mutated = payload[:cut]
+            scalar = self._outcome(_parse_records, mutated, count)
+            vec = self._outcome(_parse_records_vectorized, mutated, count)
+            assert scalar == vec, f"divergence at truncation {cut}"
